@@ -1,0 +1,39 @@
+"""Shared benchmark helpers.
+
+Every bench regenerates one table/figure of the paper: it runs the
+experiment once inside ``benchmark.pedantic`` (deterministic, no warmup
+noise), prints the paper-shaped rows/series, and writes them to
+``benchmarks/out/<name>.txt`` so the output survives pytest's capture.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir():
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def emit(report_dir, request):
+    """Print a report block and persist it under the test's name."""
+
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+        name = request.node.name.replace("/", "_")
+        (report_dir / f"{name}.txt").write_text(text + "\n",
+                                                encoding="utf-8")
+
+    return _emit
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,50 @@
+"""Collaborative filtering: train a recommender with parallel SGD.
+
+A bipartite rating graph with planted latent factors stands in for the
+paper's movieLens/Netflix datasets.  The CF PIE program runs mini-batched
+SGD per fragment and exchanges accumulated item-gradient deltas; CF is the
+one computation in the paper that needs *bounded staleness*, which AAP
+enforces through its predicate S.
+
+Run:  python examples/cf_recommender.py
+"""
+
+from repro import api
+from repro.algorithms import CFProgram, CFQuery
+from repro.bench import workloads
+from repro.graph import generators
+
+
+def main() -> None:
+    graph, user_f, item_f = generators.bipartite_ratings(
+        200, 50, ratings_per_user=12, rank=4, noise=0.05, seed=21)
+    print(f"rating graph: {graph.num_edges} ratings, "
+          f"{len(user_f)} users x {len(item_f)} items")
+
+    query = CFQuery(rank=4, learning_rate=0.05, regularization=0.02,
+                    epochs=10, seed=1)
+
+    print("\ntraining under each model (6 workers, one 3x straggler):")
+    for mode in ("BSP", "AP", "SSP", "AAP"):
+        result = api.run(
+            CFProgram(rank=4), graph, query, num_fragments=6, mode=mode,
+            cost_model=workloads.default_cost(straggler=0, factor=3.0))
+        print(f"  {mode:5s} time={result.time:9.1f}  "
+              f"rounds={max(result.rounds):3d}  "
+              f"train RMSE={result.answer['rmse']:.4f}")
+
+    print("\nAAP robustness to the staleness bound c (Appendix B):")
+    for c in (1, 2, 4, 8, 16):
+        result = api.run(
+            CFProgram(rank=4), graph, query, num_fragments=6, mode="AAP",
+            staleness_bound=c,
+            cost_model=workloads.default_cost(straggler=0, factor=3.0))
+        print(f"  c={c:2d}: time={result.time:9.1f}  "
+              f"RMSE={result.answer['rmse']:.4f}")
+
+    print("\n(the paper had to run SSP 50 times to find its optimal c;")
+    print(" AAP's dynamic adjustment makes the choice nearly irrelevant)")
+
+
+if __name__ == "__main__":
+    main()

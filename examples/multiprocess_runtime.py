@@ -1,0 +1,47 @@
+"""The multiprocessing runtime: real OS processes, real message queues.
+
+Each virtual worker runs in its own process; designated messages travel
+over ``multiprocessing`` queues and the master process runs the paper's
+probe/ack termination protocol.  This is the runtime for compute-heavy
+workloads where Python's GIL would serialise threads.
+
+At example scale the fork/pickle/queue overheads are comparable to the
+compute itself, so the point here is *correctness under real distribution*
+— identical answers from 1, 2 and 4 processes under both AP and BSP — with
+honest wall-clock numbers.  Speed-ups appear once per-fragment compute
+reaches tens of seconds (far beyond what an example should burn).
+
+Run:  python examples/multiprocess_runtime.py
+"""
+
+import time
+
+from repro.algorithms import CCProgram, CCQuery
+from repro.graph import analysis, generators
+from repro.partition.edge_cut import BfsPartitioner
+from repro.runtime.multiprocess import MultiprocessRuntime
+
+
+def main() -> None:
+    graph = generators.powerlaw(8000, m=3, seed=5)
+    print(f"graph: {graph}")
+    reference = analysis.connected_components(graph)
+
+    for mode in ("AP", "BSP"):
+        print(f"\nmode = {mode}")
+        for workers in (1, 2, 4):
+            pg = BfsPartitioner(seed=0).partition(graph, workers)
+            runtime = MultiprocessRuntime(CCProgram(), pg, CCQuery(),
+                                          mode=mode, timeout=300)
+            started = time.monotonic()
+            result = runtime.run()
+            elapsed = time.monotonic() - started
+            ok = result.answer == reference
+            print(f"  {workers} process(es): {elapsed:6.2f}s wall, "
+                  f"correct={ok}, rounds={result.rounds}, "
+                  f"msgs={result.metrics.total_messages}")
+            assert ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro: reproduction of "Adaptive Asynchronous Parallelization of Graph
+Algorithms" (Fan et al., SIGMOD 2018).
+
+The package implements the AAP parallel model, the GRAPE PIE programming
+paradigm (PEval / IncEval / Assemble), a deterministic discrete-event
+distributed runtime with BSP/AP/SSP/Hsync as special-case delay policies, a
+real threaded runtime, the paper's four applications (SSSP, CC, PageRank,
+CF), vertex-centric baselines, and the full experiment harness.
+
+Quick start::
+
+    from repro import api
+    from repro.algorithms import CCProgram, CCQuery
+    from repro.graph import generators
+
+    g = generators.powerlaw(2000, m=3, seed=7)
+    result = api.run(CCProgram(), g, CCQuery(), num_fragments=8, mode="AAP")
+"""
+
+from repro import api
+from repro.api import compare_modes, partition_graph, run
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["api", "run", "compare_modes", "partition_graph", "ReproError",
+           "__version__"]

@@ -1,0 +1,204 @@
+"""Connected components as a PIE program (paper, Examples 2-4, Figs. 2-3).
+
+PEval computes local connected components with a sequential traversal,
+creates a "root" per component carrying the minimum node id (``cid``), and
+links every member to its root.  IncEval merges components: when a border
+node's ``cid`` decreases, the change is propagated to its root and from the
+root to all members (a *bounded* incremental algorithm — cost proportional to
+the size of the change, not the fragment).
+
+``f_aggr`` is ``min``; IncEval is contracting and monotonic, so Theorem 2
+applies: every asynchronous run converges to the same components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Sequence, Set
+
+from repro.core.aggregators import Min
+from repro.core.pie import FragmentContext, PIEProgram
+from repro.partition.fragment import Fragment, PartitionedGraph
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class CCQuery:
+    """CC has a single query per graph: compute all connected components."""
+
+
+class CCProgram(PIEProgram):
+    """PIE program for connected components (undirected semantics)."""
+
+    aggregator = Min()
+    needs_bounded_staleness = False
+    finite_domain = True  # cids are node ids
+
+    def init_values(self, frag: Fragment, query: CCQuery) -> Dict[Node, Node]:
+        return {v: v for v in frag.graph.nodes}
+
+    # ------------------------------------------------------------------
+    def peval(self, frag: Fragment, ctx: FragmentContext,
+              query: CCQuery) -> None:
+        """Find local components; set every member's cid to the minimum id."""
+        g = frag.graph
+        root_of: Dict[Node, Node] = {}
+        members: Dict[Node, List[Node]] = {}
+        comp_cid: Dict[Node, Node] = {}
+        seen: Set[Node] = set()
+        for start in sorted(g.nodes, key=repr):
+            if start in seen:
+                continue
+            stack = [start]
+            seen.add(start)
+            comp: List[Node] = []
+            while stack:
+                v = stack.pop()
+                comp.append(v)
+                ctx.add_work(1)
+                for u, _ in g.out_edges(v):
+                    if u not in seen:
+                        seen.add(u)
+                        stack.append(u)
+                if g.directed:
+                    for u, _ in g.in_edges(v):
+                        if u not in seen:
+                            seen.add(u)
+                            stack.append(u)
+            cid = min(comp)
+            root = comp[0]
+            comp_cid[root] = cid
+            members[root] = comp
+            for v in comp:
+                root_of[v] = root
+                ctx.set(v, cid)
+        ctx.scratch["root_of"] = root_of
+        ctx.scratch["members"] = members
+        ctx.scratch["comp_cid"] = comp_cid
+        # only nodes shared with other fragments need eager value updates
+        # on later cid changes; interior nodes are resolved through their
+        # root at Assemble time (the paper's Assemble does exactly this)
+        shared = frag.shared_nodes
+        ctx.scratch["border_members"] = {
+            root: [v for v in comp if v in shared]
+            for root, comp in members.items()}
+
+    def inceval(self, frag: Fragment, ctx: FragmentContext,
+                activated: Set[Node], query: CCQuery) -> None:
+        """Merge components via min-cid propagation (Fig. 3 of the paper).
+
+        A decreased border cid is propagated to the component's root and
+        from there to the border members linked to it — a *bounded*
+        incremental step.  Interior members keep stale values; Assemble
+        resolves them through their root, as in the paper.
+        """
+        root_of = ctx.scratch["root_of"]
+        border_members = ctx.scratch["border_members"]
+        comp_cid = ctx.scratch["comp_cid"]
+        dirty_roots: Dict[Node, Node] = {}
+        for v in activated:
+            new_cid = ctx.get(v)
+            root = root_of[v]
+            best = dirty_roots.get(root, comp_cid[root])
+            if new_cid < best:
+                dirty_roots[root] = new_cid
+            ctx.add_work(1)
+        for root, new_cid in dirty_roots.items():
+            if new_cid < comp_cid[root]:
+                comp_cid[root] = new_cid
+                for v in border_members[root]:
+                    ctx.set(v, new_cid)
+                    ctx.add_work(1)
+
+    # ------------------------------------------------------------------
+    def inc_update(self, frag: Fragment, ctx: FragmentContext,
+                   inserted, query: CCQuery) -> Set[Node]:
+        """Union the endpoint components of every inserted local edge.
+
+        New nodes (including fresh mirror copies) get singleton components
+        first; the union adopts the smaller cid and rewrites every member's
+        status variable, so the engine ships the changes and the
+        continuation run propagates them across fragments.
+        """
+        root_of = ctx.scratch["root_of"]
+        members = ctx.scratch["members"]
+        comp_cid = ctx.scratch["comp_cid"]
+        border_members = ctx.scratch["border_members"]
+        shared = frag.shared_nodes
+
+        def ensure(v: Node) -> Node:
+            if v not in root_of:
+                root_of[v] = v
+                members[v] = [v]
+                comp_cid[v] = ctx.get(v)
+                border_members[v] = [v] if v in shared else []
+            return root_of[v]
+
+        for u, v, _ in inserted:
+            ru, rv = ensure(u), ensure(v)
+            # an endpoint may have just *become* shared (its edge is the
+            # new cut edge): start tracking it for eager updates
+            for x, r in ((u, ru), (v, rv)):
+                if x in shared and x not in border_members[r]:
+                    border_members[r].append(x)
+            if ru == rv:
+                continue
+            # absorb the smaller component into the larger one
+            if len(members[ru]) < len(members[rv]):
+                ru, rv = rv, ru
+            new_cid = min(comp_cid[ru], comp_cid[rv])
+            for x in members[rv]:
+                root_of[x] = ru
+                ctx.add_work(1)
+            members[ru].extend(members[rv])
+            border_members[ru].extend(border_members[rv])
+            del members[rv]
+            del border_members[rv]
+            del comp_cid[rv]
+            comp_cid[ru] = new_cid
+            for x in border_members[ru]:
+                ctx.set(x, new_cid)
+                ctx.add_work(1)
+        return set()
+
+    # ------------------------------------------------------------------
+    def destinations(self, pg: PartitionedGraph, frag: Fragment,
+                     v: Node) -> Sequence[int]:
+        """Ship mirror cids to the owner under edge-cut (``C_i = F_i.O``);
+        every copy exchanges updates under vertex-cut.
+
+        The owner's local component holds mirror copies of each adjacent
+        fragment's border nodes, so min-cid information still flows both
+        ways across every cut edge.
+        """
+        if frag.cut != "edge":
+            return frag.locations(v)
+        if v not in frag.mirrors:
+            return ()
+        owner = pg.owner[v]
+        return (owner,) if owner != frag.fid else ()
+
+    def assemble(self, pg: PartitionedGraph,
+                 contexts: Sequence[FragmentContext],
+                 query: CCQuery) -> Dict[Node, Node]:
+        """Map every node to its component id (the min member id).
+
+        As in the paper, Assemble "first updates the cid of each node to
+        the cid of its linked root": interior values may be stale, the
+        root's cid is authoritative.
+        """
+        out: Dict[Node, Node] = {}
+        for v, fid in pg.owner.items():
+            ctx = contexts[fid]
+            root = ctx.scratch["root_of"][v]
+            out[v] = ctx.scratch["comp_cid"][root]
+        return out
+
+
+def components_from_answer(answer: Dict[Node, Node]) -> List[Set[Node]]:
+    """Group the node -> cid map into component sets (sorted by cid)."""
+    buckets: Dict[Node, Set[Node]] = {}
+    for v, cid in answer.items():
+        buckets.setdefault(cid, set()).add(v)
+    return [buckets[cid] for cid in sorted(buckets)]

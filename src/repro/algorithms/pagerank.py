@@ -1,0 +1,157 @@
+"""PageRank as a PIE program (paper, Section 5.3).
+
+Delta-based accumulative formulation (as in Maiter): each node ``v`` keeps a
+score ``P_v`` and a pending update ``x_v`` (the status variable / update
+parameter).  Processing ``v`` adds ``x_v`` to ``P_v`` and pushes
+``d * x_v / N_v`` into each successor's pending update; ``f_aggr`` is *sum*.
+Messages carry pending deltas of mirror copies, which the owner consumes
+exactly once (ship-and-reset) — this is the accumulative semantics.
+
+Correctness does not need bounded staleness: every path contribution
+``p(v)`` is added to ``P_v`` at most once (paper's remark in Section 5.3),
+so all runs converge to the same scores up to the tolerance ``epsilon``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set
+
+from repro.core.aggregators import Sum
+from repro.core.pie import FragmentContext, PIEProgram
+from repro.errors import ProgramError
+from repro.partition.fragment import Fragment, PartitionedGraph
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class PageRankQuery:
+    """PageRank with damping ``d`` and convergence threshold ``epsilon``.
+
+    ``epsilon`` bounds the total residual mass left unpropagated; each node
+    stops propagating once its pending update falls below
+    ``epsilon / num_nodes``.  Pass ``num_nodes`` (|V| of the whole graph) so
+    the per-node threshold is independent of how the graph is fragmented;
+    without it each fragment falls back to its local node count, which is
+    slightly stricter.
+    """
+
+    damping: float = 0.85
+    epsilon: float = 1e-3
+    num_nodes: Optional[int] = None
+
+
+class PageRankProgram(PIEProgram):
+    """PIE program for delta-accumulative PageRank."""
+
+    aggregator = Sum()
+    needs_bounded_staleness = False
+    finite_domain = False  # real-valued scores; termination via epsilon
+
+    def init_values(self, frag: Fragment, query: PageRankQuery
+                    ) -> Dict[Node, float]:
+        if frag.cut != "edge":
+            raise ProgramError(
+                "PageRankProgram requires an edge-cut partition (an owner "
+                "holds all out-edges of its nodes)")
+        # pending update x_v: (1 - d) for owned nodes, 0 for mirror copies
+        return {v: (0.0 if v in frag.mirrors else 1.0 - query.damping)
+                for v in frag.graph.nodes}
+
+    # ------------------------------------------------------------------
+    def peval(self, frag: Fragment, ctx: FragmentContext,
+              query: PageRankQuery) -> None:
+        ctx.scratch["score"] = {v: 0.0 for v in frag.owned}
+        denom = query.num_nodes if query.num_nodes \
+            else frag.graph.num_nodes
+        ctx.scratch["eps_node"] = query.epsilon / max(denom, 1)
+        self._propagate(frag, ctx, query, seeds=frag.owned)
+
+    def inceval(self, frag: Fragment, ctx: FragmentContext,
+                activated: Set[Node], query: PageRankQuery) -> None:
+        # activated nodes are owned nodes whose pending delta grew from
+        # incoming mirror deltas
+        self._propagate(frag, ctx, query, seeds=activated)
+
+    def _propagate(self, frag: Fragment, ctx: FragmentContext,
+                   query: PageRankQuery, seeds) -> None:
+        """Local fixpoint: drain pending updates above the node threshold.
+
+        Breadth-first (Jacobi-style) waves: a node is processed at most once
+        per wave, after the whole previous wave's contributions have been
+        accumulated into its pending update.  Depth-first ordering would
+        reprocess nodes with partial deltas and multiply the work.
+        """
+        g = frag.graph
+        score = ctx.scratch["score"]
+        eps_node = ctx.scratch["eps_node"]
+        d = query.damping
+        current = sorted((v for v in seeds if v in frag.owned), key=repr)
+        while current:
+            next_wave = set()
+            for v in current:
+                delta = ctx.get(v)
+                if abs(delta) <= eps_node:
+                    continue
+                ctx.set(v, 0.0)
+                score[v] += delta
+                ctx.add_work(1)
+                deg = g.out_degree(v)
+                if deg == 0:
+                    continue
+                share = d * delta / deg
+                for u, _ in g.out_edges(v):
+                    ctx.set(u, ctx.get(u) + share)
+                    ctx.add_work(1)
+                    if u in frag.owned and abs(ctx.get(u)) > eps_node:
+                        next_wave.add(u)
+            current = sorted(next_wave, key=repr)
+
+    # ------------------------------------------------------------------
+    # accumulative message semantics
+    # ------------------------------------------------------------------
+    def emit(self, frag: Fragment, ctx: FragmentContext, v: Node) -> float:
+        """Ship the mirror's accumulated delta and reset it to zero."""
+        delta = ctx.get(v)
+        ctx.set_silent(v, 0.0)
+        return delta
+
+    def ship_set(self, frag: Fragment):
+        """Only mirror copies carry outbound deltas."""
+        return frozenset(v for v in frag.mirrors if frag.locations(v))
+
+    def destinations(self, pg: PartitionedGraph, frag: Fragment,
+                     v: Node) -> Sequence[int]:
+        """A delta must be consumed exactly once: ship to the owner only."""
+        owner = pg.owner[v]
+        return (owner,) if owner != frag.fid else ()
+
+    def should_ship(self, frag: Fragment, ctx: FragmentContext,
+                    v: Node) -> bool:
+        """Hold back sub-threshold mirror deltas (Maiter-style).
+
+        The unshipped residual per mirror is bounded by the node threshold,
+        the same bound already accepted for owned nodes, so accuracy
+        stays within ``epsilon`` while traffic drops dramatically.
+        """
+        return abs(ctx.get(v)) > ctx.scratch["eps_node"]
+
+    def apply_incoming(self, frag: Fragment, ctx: FragmentContext, v: Node,
+                       payloads: Sequence[float]) -> bool:
+        total = sum(payloads)
+        if total == 0.0:
+            return False
+        ctx.set(v, ctx.get(v) + total)
+        return True
+
+    # ------------------------------------------------------------------
+    def assemble(self, pg: PartitionedGraph,
+                 contexts: Sequence[FragmentContext],
+                 query: PageRankQuery) -> Dict[Node, float]:
+        """Final scores; residual pending mass is folded in for accuracy."""
+        out: Dict[Node, float] = {}
+        for v, fid in pg.owner.items():
+            ctx = contexts[fid]
+            out[v] = ctx.scratch["score"][v] + ctx.values[v]
+        return out

@@ -1,0 +1,15 @@
+"""Cross-system baselines: vertex-centric and delta engines, profiles."""
+
+from repro.baselines.maiter import (DeltaEngine, DeltaPageRank, DeltaProgram,
+                                    DeltaResult, DeltaSSSP)
+from repro.baselines.profiles import PROFILES, SystemProfile, run_baseline
+from repro.baselines.vertex_centric import (BellmanFordSSSP, HashMinCC,
+                                            IterativePageRank,
+                                            SuperstepVertexEngine, VCResult,
+                                            VertexCentricProgram)
+
+__all__ = ["PROFILES", "SystemProfile", "run_baseline",
+           "SuperstepVertexEngine", "VertexCentricProgram", "VCResult",
+           "BellmanFordSSSP", "HashMinCC", "IterativePageRank",
+           "DeltaEngine", "DeltaProgram", "DeltaPageRank", "DeltaSSSP",
+           "DeltaResult"]

@@ -1,0 +1,5 @@
+"""Experiment harness: workloads, per-figure runners, report formatting."""
+
+from repro.bench import experiments, reporting, workloads
+
+__all__ = ["workloads", "experiments", "reporting"]

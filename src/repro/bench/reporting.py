@@ -1,0 +1,60 @@
+"""Table/series formatting for the experiment harness.
+
+The benches print the same row/series structure as the paper's tables and
+figures; these helpers keep the output uniform and grep-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[Any]]) -> str:
+    """Fixed-width text table with a title rule."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [f"== {title} ==",
+           " | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(title: str, x_label: str, xs: Sequence[Any],
+                  series: Mapping[str, Sequence[float]]) -> str:
+    """One row per series, one column per x value (a figure as text)."""
+    headers = [x_label] + [str(x) for x in xs]
+    rows = [[name] + list(vals) for name, vals in series.items()]
+    return format_table(title, headers, rows)
+
+
+def speedups(times: Mapping[str, float], baseline: str) -> Dict[str, float]:
+    """time(baseline) / time(mode) for every mode (>1 = faster)."""
+    base = times[baseline]
+    return {mode: (base / t if t > 0 else float("inf"))
+            for mode, t in times.items()}
+
+
+def human_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024:
+            return f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n:.1f}TB"

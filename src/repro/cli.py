@@ -1,0 +1,275 @@
+"""Command-line interface.
+
+::
+
+    repro run   --algorithm sssp --graph grid:40x40 --mode AAP -m 8
+    repro compare --algorithm cc --graph powerlaw:2000 --straggler 4
+    repro bench --experiment table1
+    repro verify --algorithm sssp --graph powerlaw:200
+    repro info  --graph grid:30x30 -m 8 --partitioner bfs
+
+Graph specs: ``grid:RxC``, ``powerlaw:N``, ``er:N:P``, ``smallworld:N``,
+``rmat:SCALE``, ``path:N``, or ``file:PATH`` (edge list).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Optional, Tuple
+
+from repro import api
+from repro.algorithms import (CCProgram, CCQuery, CFProgram, CFQuery,
+                              PageRankProgram, PageRankQuery, SSSPProgram,
+                              SSSPQuery)
+from repro.core.convergence import verify_conditions
+from repro.core.modes import MODES
+from repro.errors import ReproError
+from repro.graph import analysis, generators, io
+from repro.graph.graph import Graph
+from repro.partition.edge_cut import (BfsPartitioner, GreedyLdgPartitioner,
+                                      HashPartitioner, RangePartitioner)
+from repro.partition.quality import summary
+from repro.runtime.costmodel import CostModel
+
+PARTITIONERS = {
+    "hash": HashPartitioner,
+    "range": RangePartitioner,
+    "bfs": BfsPartitioner,
+    "ldg": GreedyLdgPartitioner,
+}
+
+
+def parse_graph(spec: str, seed: int = 0, weighted: bool = True) -> Graph:
+    """Build a graph from a CLI spec string."""
+    kind, _, rest = spec.partition(":")
+    kind = kind.lower()
+    if kind == "grid":
+        rows, _, cols = rest.partition("x")
+        return generators.grid2d(int(rows), int(cols or rows),
+                                 weighted=weighted, seed=seed)
+    if kind == "powerlaw":
+        return generators.powerlaw(int(rest), m=3, weighted=weighted,
+                                   seed=seed)
+    if kind == "er":
+        n, _, p = rest.partition(":")
+        return generators.erdos_renyi(int(n), float(p or 0.05),
+                                      weighted=weighted, seed=seed)
+    if kind == "smallworld":
+        return generators.small_world(int(rest), seed=seed)
+    if kind == "rmat":
+        return generators.rmat(int(rest), weighted=weighted, seed=seed)
+    if kind == "path":
+        return generators.path_graph(int(rest), weighted=weighted,
+                                     seed=seed)
+    if kind == "file":
+        return io.read_edge_list(rest)
+    raise ReproError(f"unknown graph spec {spec!r}")
+
+
+def build_program(algorithm: str, graph: Graph,
+                  source: Optional[str]) -> Tuple[Any, Any]:
+    algorithm = algorithm.lower()
+    if algorithm == "sssp":
+        src = _parse_node(source) if source else next(iter(graph.nodes))
+        return SSSPProgram(), SSSPQuery(source=src)
+    if algorithm == "cc":
+        return CCProgram(), CCQuery()
+    if algorithm == "pagerank":
+        return PageRankProgram(), PageRankQuery(
+            epsilon=5e-4 * graph.num_nodes, num_nodes=graph.num_nodes)
+    if algorithm == "cf":
+        return CFProgram(), CFQuery()
+    raise ReproError(f"unknown algorithm {algorithm!r}; "
+                     f"expected sssp|cc|pagerank|cf")
+
+
+def _parse_node(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _cost_model(args) -> CostModel:
+    speed = {0: args.straggler} if args.straggler > 1 else None
+    return CostModel(alpha=1.0, beta=0.002, speed=speed, latency=0.25,
+                     msg_cost=0.05, send_cost=0.02, seed=args.seed)
+
+
+def _summarise(result) -> dict:
+    return {
+        "mode": result.mode,
+        "time": result.time,
+        "rounds": result.rounds,
+        "messages": result.metrics.total_messages,
+        "bytes": result.metrics.total_bytes,
+        "total_work": result.metrics.total_work,
+        "idle_ratio": round(result.metrics.idle_ratio, 4),
+    }
+
+
+# ----------------------------------------------------------------------
+def cmd_run(args) -> int:
+    graph = parse_graph(args.graph, seed=args.seed)
+    program, query = build_program(args.algorithm, graph, args.source)
+    partitioner = PARTITIONERS[args.partitioner]()
+    result = api.run(program, graph, query, mode=args.mode,
+                     num_fragments=args.fragments, partitioner=partitioner,
+                     cost_model=_cost_model(args),
+                     record_trace=bool(args.report))
+    if args.report:
+        from repro.runtime.report import write_report
+        write_report(result, args.report, include_trace=True,
+                     extra={"graph": args.graph,
+                            "algorithm": args.algorithm,
+                            "fragments": args.fragments})
+    out = _summarise(result)
+    if args.algorithm == "cc":
+        out["components"] = len(set(result.answer.values()))
+    elif args.algorithm == "cf":
+        out["rmse"] = result.answer["rmse"]
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    graph = parse_graph(args.graph, seed=args.seed)
+    program, query = build_program(args.algorithm, graph, args.source)
+    pg = api.partition_graph(graph, args.fragments,
+                             PARTITIONERS[args.partitioner]())
+    results = api.compare_modes(
+        type(program), pg, query,
+        cost_model_factory=lambda: _cost_model(args))
+    print(json.dumps({mode: _summarise(r) for mode, r in results.items()},
+                     indent=2))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    graph = parse_graph(args.graph, seed=args.seed)
+    program, query = build_program(args.algorithm, graph, args.source)
+    pg = api.partition_graph(graph, args.fragments)
+    if args.algorithm == "pagerank":
+        report = verify_conditions(
+            program, pg, query, runs=args.runs,
+            equal=lambda a, b: all(abs(a[k] - b[k]) < 1e-2 for k in a))
+    else:
+        report = verify_conditions(program, pg, query, runs=args.runs)
+    print(json.dumps({
+        "t1_finite_domain": report.t1_finite_domain,
+        "t2_contracting": report.t2_contracting,
+        "church_rosser": report.church_rosser,
+        "runs": report.runs,
+        "violations": report.violations,
+        "ok": report.ok,
+    }, indent=2))
+    return 0 if report.ok or args.algorithm == "pagerank" else 1
+
+
+def cmd_info(args) -> int:
+    graph = parse_graph(args.graph, seed=args.seed)
+    pg = api.partition_graph(graph, args.fragments,
+                             PARTITIONERS[args.partitioner]())
+    print(json.dumps({
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "directed": graph.directed,
+        "degree_skew": round(analysis.degree_skew(graph), 3),
+        "diameter_estimate": analysis.diameter_estimate(graph),
+        "partition": {k: round(v, 4) for k, v in summary(pg).items()},
+    }, indent=2))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench import experiments, reporting
+    name = args.experiment.lower()
+    if name == "table1":
+        rows = experiments.run_table1(num_workers=args.fragments)
+        print(reporting.format_table(
+            "Table 1", ["system", "PR time", "PR comm", "SSSP time",
+                        "SSSP comm"],
+            [[r["system"], r["pagerank_time"],
+              reporting.human_bytes(r["pagerank_comm"]), r["sssp_time"],
+              reporting.human_bytes(r["sssp_comm"])] for r in rows]))
+        return 0
+    if name in ("sssp", "cc", "pagerank", "cf"):
+        graph = parse_graph(args.graph, seed=args.seed)
+        series = experiments.run_modes_experiment(
+            name, graph, workers=(4, 6, 8), straggler_factor=args.straggler)
+        print(reporting.format_series(f"{name} vs workers", "workers",
+                                      (4, 6, 8), series))
+        return 0
+    if name == "partition":
+        series = experiments.run_partition_impact()
+        print(reporting.format_series("SSSP vs skew r", "r", (1, 3, 5, 7, 9),
+                                      series))
+        return 0
+    raise ReproError(f"unknown experiment {args.experiment!r}")
+
+
+# ----------------------------------------------------------------------
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AAP graph-computation engine (SIGMOD'18 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, algorithm=True):
+        p.add_argument("--graph", default="powerlaw:1000",
+                       help="graph spec (grid:RxC, powerlaw:N, er:N:P, "
+                            "rmat:S, path:N, file:PATH)")
+        if algorithm:
+            p.add_argument("--algorithm", "-a", default="cc",
+                           choices=["sssp", "cc", "pagerank", "cf"])
+            p.add_argument("--source", default=None,
+                           help="SSSP source node")
+        p.add_argument("--fragments", "-m", type=int, default=8)
+        p.add_argument("--partitioner", default="hash",
+                       choices=sorted(PARTITIONERS))
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--straggler", type=float, default=1.0,
+                       help="slow-down factor of worker 0")
+
+    p_run = sub.add_parser("run", help="run one algorithm under one model")
+    common(p_run)
+    p_run.add_argument("--mode", default="AAP", choices=list(MODES))
+    p_run.add_argument("--report", default=None,
+                       help="write a JSON run report (with trace) here")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="run under every parallel model")
+    common(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_ver = sub.add_parser("verify",
+                           help="check T1/T2 + Church-Rosser empirically")
+    common(p_ver)
+    p_ver.add_argument("--runs", type=int, default=4)
+    p_ver.set_defaults(func=cmd_verify)
+
+    p_info = sub.add_parser("info", help="graph and partition statistics")
+    common(p_info, algorithm=False)
+    p_info.set_defaults(func=cmd_info)
+
+    p_bench = sub.add_parser("bench", help="run a named experiment")
+    common(p_bench, algorithm=False)
+    p_bench.add_argument("--experiment", "-e", default="table1")
+    p_bench.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Simulations of other parallel models on AAP (Prop. 3 / Theorem 4)."""
+
+from repro.compat.mapreduce import (LocalMapReduce, MapReduceJob,
+                                    MapReduceOnPIE, Subroutine,
+                                    make_worker_graph, run_mapreduce)
+from repro.compat.pregel import (PregelAdapter, PregelVertexProgram,
+                                 VertexContext)
+
+__all__ = ["PregelAdapter", "PregelVertexProgram", "VertexContext",
+           "MapReduceJob", "Subroutine", "MapReduceOnPIE", "LocalMapReduce",
+           "make_worker_graph", "run_mapreduce"]

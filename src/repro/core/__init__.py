@@ -1,0 +1,23 @@
+"""The paper's primary contribution: PIE programming + the AAP model."""
+
+from repro.core.aggregators import (Aggregator, LatestByVersion, Max, Min,
+                                    Sum)
+from repro.core.delay import (AAPPolicy, APPolicy, BSPPolicy, DelayPolicy,
+                              HsyncPolicy, SSPPolicy, WorkerView)
+from repro.core.engine import Engine, RoundOutput
+from repro.core.fixpoint import ScheduledExecutor, run_sequential_fixpoint
+from repro.core.messages import Message, MessageBuffer
+from repro.core.modes import MODES, make_policy, policy_table
+from repro.core.pie import FragmentContext, PIEProgram
+from repro.core.result import RunResult
+from repro.core.worker import WorkerState, WorkerStatus
+
+__all__ = [
+    "Aggregator", "Min", "Max", "Sum", "LatestByVersion",
+    "DelayPolicy", "BSPPolicy", "APPolicy", "SSPPolicy", "AAPPolicy",
+    "HsyncPolicy", "WorkerView", "Engine", "RoundOutput",
+    "ScheduledExecutor", "run_sequential_fixpoint", "Message",
+    "MessageBuffer", "MODES", "make_policy", "policy_table",
+    "FragmentContext", "PIEProgram", "RunResult", "WorkerState",
+    "WorkerStatus",
+]

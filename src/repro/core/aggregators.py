@@ -1,0 +1,132 @@
+"""Aggregate functions ``f_aggr`` for update parameters.
+
+The paper resolves conflicting updates to the same status variable with a
+user-declared aggregate function (Section 2): *"PEval also specifies an
+aggregate function f_aggr, e.g., min and max, to resolve conflicts when
+multiple workers attempt to assign different values to the same update
+parameter."*
+
+Two families matter in practice and have different shipping semantics:
+
+- **Lattice aggregators** (:class:`Min`, :class:`Max`): idempotent joins.
+  Values only move monotonically along a partial order, which is exactly what
+  conditions T2/T3 require; re-delivering a value is harmless.
+- **Accumulative aggregators** (:class:`Sum`): Maiter-style delta
+  accumulation.  A shipped delta must be consumed exactly once, so programs
+  using them reset the local accumulator when a message is derived.
+
+:class:`LatestByVersion` supports CF-style versioned values (the paper's
+``(f, delta, t)`` triples aggregated by ``max`` on the timestamp).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Sequence, Tuple
+
+from repro.errors import ProgramError
+
+
+class Aggregator(abc.ABC):
+    """Combines the current value of an update parameter with incoming ones."""
+
+    name = "aggregator"
+    #: accumulative aggregators use ship-and-reset message semantics
+    accumulative = False
+
+    @abc.abstractmethod
+    def combine(self, current: Any, incoming: Sequence[Any]) -> Any:
+        """Aggregate ``incoming`` values into ``current``; return new value."""
+
+    def identity(self) -> Any:
+        """Neutral element (the reset value for accumulative aggregators)."""
+        raise ProgramError(f"{self.name} has no identity element")
+
+    def leq(self, a: Any, b: Any) -> bool:
+        """Partial order ``a <=_p b`` (``a`` at least as advanced as ``b``).
+
+        Used by the convergence checkers (T2/T3).  Lattice aggregators
+        override it; returns ``NotImplemented``-style False by default.
+        """
+        return a == b
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Min(Aggregator):
+    """Keep the minimum value; the paper's ``f_aggr`` for CC and SSSP."""
+
+    name = "min"
+
+    def combine(self, current: Any, incoming: Sequence[Any]) -> Any:
+        best = current
+        for val in incoming:
+            if val < best:
+                best = val
+        return best
+
+    def leq(self, a: Any, b: Any) -> bool:
+        return a <= b
+
+
+class Max(Aggregator):
+    """Keep the maximum value."""
+
+    name = "max"
+
+    def combine(self, current: Any, incoming: Sequence[Any]) -> Any:
+        best = current
+        for val in incoming:
+            if val > best:
+                best = val
+        return best
+
+    def leq(self, a: Any, b: Any) -> bool:
+        return a >= b
+
+
+class Sum(Aggregator):
+    """Accumulate numeric deltas (Maiter-style); identity is 0.
+
+    Used by PageRank: incoming messages carry score deltas which are *added*
+    to the pending update of the receiving node.
+    """
+
+    name = "sum"
+    accumulative = True
+
+    def __init__(self, zero: float = 0.0):
+        self._zero = zero
+
+    def combine(self, current: Any, incoming: Sequence[Any]) -> Any:
+        total = current
+        for val in incoming:
+            total = total + val
+        return total
+
+    def identity(self) -> Any:
+        return self._zero
+
+
+class LatestByVersion(Aggregator):
+    """Keep the value with the highest version tag.
+
+    Values are ``(version, payload)`` tuples; ties resolved deterministically
+    by payload representation so that runs are schedule-independent when
+    versions collide.
+    """
+
+    name = "latest"
+
+    def combine(self, current: Tuple[int, Any],
+                incoming: Sequence[Tuple[int, Any]]) -> Tuple[int, Any]:
+        best = current
+        for val in incoming:
+            if val[0] > best[0] or (val[0] == best[0]
+                                    and repr(val[1]) > repr(best[1])):
+                best = val
+        return best
+
+    def leq(self, a: Tuple[int, Any], b: Tuple[int, Any]) -> bool:
+        return a[0] >= b[0]

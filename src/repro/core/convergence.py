@@ -1,0 +1,137 @@
+"""Empirical checkers for the paper's convergence conditions (Section 4.1).
+
+The monotone condition consists of:
+
+- **T1** — update parameters take values from a finite domain;
+- **T2** — IncEval is *contracting*: successive partial results only move
+  down the partial order ``<=_p`` within a run;
+- **T3** — IncEval is *monotonic* across runs.
+
+T1 is a declaration (:attr:`PIEProgram.finite_domain`).  T2 is checked by
+recording every status-variable transition during real runs and verifying it
+respects ``program.leq``.  T3 (with T1/T2) implies the Church-Rosser
+property, which is what :func:`check_church_rosser` verifies empirically:
+many randomly scheduled runs must all converge to the reference answer.
+These are falsification harnesses — they can prove a program wrong, and give
+statistical evidence it is right.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.engine import Engine
+from repro.core.fixpoint import ScheduledExecutor, run_sequential_fixpoint
+from repro.core.pie import PIEProgram
+from repro.errors import ConvergenceError
+from repro.partition.fragment import PartitionedGraph
+
+
+@dataclass
+class ConditionReport:
+    """Outcome of checking T1/T2/Church-Rosser for one program + workload."""
+
+    t1_finite_domain: bool
+    t2_contracting: bool
+    church_rosser: bool
+    runs: int
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (self.t1_finite_domain and self.t2_contracting
+                and self.church_rosser)
+
+
+def check_contracting(program: PIEProgram, pg: PartitionedGraph, query: Any,
+                      schedule_seed: int = 0,
+                      max_steps: int = 100_000) -> List[str]:
+    """Run one randomly scheduled execution, asserting every status-variable
+    transition moves down the program's partial order (condition T2).
+
+    Accumulative programs (``aggregator.accumulative``) are skipped — their
+    deltas are not lattice values; the paper treats PageRank's convergence
+    separately (Section 5.3).
+    """
+    if program.aggregator.accumulative:
+        return []
+    engine = Engine(program, pg, query)
+    violations: List[str] = []
+    originals: Dict[int, Dict] = {}
+
+    def watch(wid: int) -> None:
+        ctx = engine.contexts[wid]
+        before = originals.get(wid)
+        if before is not None:
+            for v, old in before.items():
+                new = ctx.values[v]
+                if new != old and not program.leq(new, old):
+                    violations.append(
+                        f"worker {wid}: {v!r} moved {old!r} -> {new!r} "
+                        f"against the partial order")
+        originals[wid] = dict(ctx.values)
+
+    ex = ScheduledExecutor(engine)
+    ex.start()
+    for wid in range(engine.num_workers):
+        watch(wid)
+    rng = random.Random(schedule_seed)
+    steps = 0
+    while not ex.quiescent and steps < max_steps:
+        ready = [wid for wid in range(engine.num_workers) if ex.buffers[wid]]
+        wid = rng.choice(ready)
+        ex.step(wid)
+        watch(wid)
+        steps += 1
+    return violations
+
+
+def random_schedule_run(program: PIEProgram, pg: PartitionedGraph, query: Any,
+                        seed: int, max_steps: int = 100_000) -> Any:
+    """One complete run under a uniformly random activation schedule."""
+    engine = Engine(program, pg, query)
+    ex = ScheduledExecutor(engine)
+    ex.start()
+    rng = random.Random(seed)
+    steps = 0
+    while not ex.quiescent:
+        ready = [wid for wid in range(engine.num_workers) if ex.buffers[wid]]
+        ex.step(rng.choice(ready))
+        steps += 1
+        if steps > max_steps:
+            raise ConvergenceError(f"no fixpoint after {max_steps} steps")
+    return ex.assemble()
+
+
+def check_church_rosser(program: PIEProgram, pg: PartitionedGraph, query: Any,
+                        runs: int = 5, seed: int = 0,
+                        equal: Optional[Callable[[Any, Any], bool]] = None
+                        ) -> List[str]:
+    """All randomly scheduled runs must converge to the reference answer."""
+    eq = equal if equal is not None else (lambda a, b: a == b)
+    reference = run_sequential_fixpoint(Engine(program, pg, query))
+    violations = []
+    for i in range(runs):
+        answer = random_schedule_run(program, pg, query, seed=seed + i)
+        if not eq(answer, reference):
+            violations.append(
+                f"run with seed {seed + i} diverged from the reference")
+    return violations
+
+
+def verify_conditions(program: PIEProgram, pg: PartitionedGraph, query: Any,
+                      runs: int = 5, seed: int = 0,
+                      equal: Optional[Callable[[Any, Any], bool]] = None
+                      ) -> ConditionReport:
+    """Check T1 (declared), T2 (observed) and Church-Rosser (observed)."""
+    t2_violations = check_contracting(program, pg, query, schedule_seed=seed)
+    cr_violations = check_church_rosser(program, pg, query, runs=runs,
+                                        seed=seed, equal=equal)
+    return ConditionReport(
+        t1_finite_domain=program.finite_domain,
+        t2_contracting=not t2_violations,
+        church_rosser=not cr_violations,
+        runs=runs,
+        violations=t2_violations + cr_violations)

@@ -1,0 +1,126 @@
+"""Fragment-local execution mechanics shared by every runtime.
+
+The :class:`Engine` owns the per-fragment contexts and implements the three
+operations every runtime schedules:
+
+1. :meth:`run_peval` — partial evaluation on one fragment (round 0);
+2. :meth:`run_inceval` — aggregate buffered messages into the update
+   parameters (``M_i = f_aggr(B ∪ C_i.x̄)``) and run the incremental step;
+3. :meth:`derive_messages` — diff the candidate set and group the changed
+   values into designated messages ``M(i, j)``.
+
+Scheduling (when each operation runs and what the delay stretches are) is the
+runtime's job; the engine is schedule-agnostic, which is what makes the
+Church-Rosser tests meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set
+
+from repro.core.messages import Message, group_entries, make_messages
+from repro.core.pie import FragmentContext, PIEProgram
+from repro.errors import ProgramError
+from repro.partition.fragment import PartitionedGraph
+
+Node = Hashable
+
+
+@dataclass
+class RoundOutput:
+    """What one invocation of PEval/IncEval produced."""
+
+    wid: int
+    round: int
+    work: int
+    messages: List[Message] = field(default_factory=list)
+    activated: int = 0
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(m.size_bytes for m in self.messages)
+
+
+class Engine:
+    """Program + partitioned graph + query, with per-fragment contexts."""
+
+    def __init__(self, program: PIEProgram, pg: PartitionedGraph, query: Any):
+        self.program = program
+        self.pg = pg
+        self.query = query
+        self.contexts: List[FragmentContext] = [
+            program.make_context(frag, query) for frag in pg]
+        self._ship_sets = [program.ship_set(frag) for frag in pg]
+        for frag, ship in zip(pg, self._ship_sets):
+            stray = [v for v in ship if not frag.locations(v)]
+            if stray:
+                raise ProgramError(
+                    f"ship set of fragment {frag.fid} contains node "
+                    f"{stray[0]!r} that resides nowhere else")
+
+    @property
+    def num_workers(self) -> int:
+        return self.pg.num_fragments
+
+    # ------------------------------------------------------------------
+    def run_peval(self, wid: int) -> RoundOutput:
+        """Round 0: run the batch algorithm and derive initial messages."""
+        frag = self.pg.fragments[wid]
+        ctx = self.contexts[wid]
+        ctx.round = 0
+        self.program.peval(frag, ctx, self.query)
+        work = ctx.take_work()
+        messages = self.derive_messages(wid, round_no=0)
+        return RoundOutput(wid=wid, round=0, work=work, messages=messages)
+
+    def run_inceval(self, wid: int, batches: Sequence[Message],
+                    round_no: int) -> RoundOutput:
+        """One incremental round: aggregate ``batches`` then run IncEval."""
+        frag = self.pg.fragments[wid]
+        ctx = self.contexts[wid]
+        ctx.round = round_no
+        grouped = group_entries(batches)
+        activated: Set[Node] = set()
+        for v, payloads in grouped.items():
+            if v not in ctx.values:
+                raise ProgramError(
+                    f"fragment {wid} received update for non-local node {v!r}")
+            ctx.add_work(len(payloads))
+            if self.program.apply_incoming(frag, ctx, v, payloads):
+                activated.add(v)
+        if activated:
+            self.program.inceval(frag, ctx, activated, self.query)
+        work = ctx.take_work()
+        messages = self.derive_messages(wid, round_no=round_no)
+        return RoundOutput(wid=wid, round=round_no, work=work,
+                           messages=messages, activated=len(activated))
+
+    def derive_messages(self, wid: int, round_no: int,
+                        token: Any = None) -> List[Message]:
+        """Group changed candidate values into designated messages."""
+        frag = self.pg.fragments[wid]
+        ctx = self.contexts[wid]
+        ship = self._ship_sets[wid]
+        changed = ctx.take_changed()
+        per_dest: Dict[int, List] = {}
+        held_back = []
+        for v in sorted(changed & ship, key=repr):
+            if not self.program.should_ship(frag, ctx, v):
+                held_back.append(v)
+                continue
+            dests = self.program.destinations(self.pg, frag, v)
+            if not dests:
+                continue
+            payload = self.program.emit(frag, ctx, v)
+            for dst in dests:
+                per_dest.setdefault(dst, []).append((v, payload))
+        # held-back nodes stay marked so a later round reconsiders them
+        ctx.changed.update(held_back)
+        entry_bytes = self.program.value_size_bytes(None)
+        return make_messages(wid, round_no, per_dest, token=token,
+                             entry_bytes=entry_bytes)
+
+    def assemble(self) -> Any:
+        """Apply Assemble to the partial results of all workers."""
+        return self.program.assemble(self.pg, self.contexts, self.query)

@@ -1,0 +1,108 @@
+"""The master's termination protocol (paper, Section 3, phase 3).
+
+Workers that finish a round with an empty buffer flag ``inactive`` to the
+master.  When every worker is inactive, the master broadcasts ``terminate``;
+each worker answers ``ack`` if it is still inactive, or ``wait`` if it became
+active again (a message raced in).  Any ``wait`` aborts the attempt and the
+incremental phase resumes; unanimous ``ack`` ends the run.
+
+:class:`TerminationMaster` implements the protocol for the threaded runtime;
+the discrete-event simulator does not need it (its event queue makes global
+quiescence directly observable) but uses the same inactive-flag semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+from repro.errors import TerminationError
+
+
+class TerminationMaster:
+    """Coordinates termination across ``m`` workers plus in-flight messages.
+
+    Thread-safe.  Also tracks an in-flight message counter so a unanimous
+    ``ack`` is only accepted when no message is on the wire (the paper's
+    workers cannot be inactive while undelivered designated messages exist,
+    because delivery would re-activate them).
+    """
+
+    def __init__(self, num_workers: int):
+        self._lock = threading.Condition()
+        self._inactive = [False] * num_workers
+        self._in_flight = 0
+        self._terminated = False
+        self.attempts = 0
+
+    # ------------------------------------------------------------------
+    # worker-side API
+    # ------------------------------------------------------------------
+    def set_inactive(self, wid: int) -> None:
+        """Worker ``wid`` reports an empty buffer after a round."""
+        with self._lock:
+            self._inactive[wid] = True
+            self._lock.notify_all()
+
+    def set_active(self, wid: int) -> None:
+        """Worker ``wid`` received a message (responds ``wait`` if probed)."""
+        with self._lock:
+            self._inactive[wid] = False
+
+    def message_sent(self, count: int = 1) -> None:
+        with self._lock:
+            self._in_flight += count
+
+    def message_delivered(self, count: int = 1) -> None:
+        with self._lock:
+            self._in_flight -= count
+            if self._in_flight < 0:
+                raise TerminationError("in-flight counter went negative")
+            self._lock.notify_all()
+
+    # ------------------------------------------------------------------
+    # master-side API
+    # ------------------------------------------------------------------
+    def try_terminate(self) -> bool:
+        """One broadcast/ack round; True iff all workers acked."""
+        with self._lock:
+            self.attempts += 1
+            if all(self._inactive) and self._in_flight == 0:
+                self._terminated = True
+                self._lock.notify_all()
+                return True
+            return False
+
+    def wait_for_termination(self, poll: Callable[[], None] = None,
+                             timeout: Optional[float] = None) -> None:
+        """Block until unanimous ack (with optional per-iteration ``poll``)."""
+        deadline = None
+        if timeout is not None:
+            import time
+            deadline = time.monotonic() + timeout
+        with self._lock:
+            while not self._terminated:
+                if all(self._inactive) and self._in_flight == 0:
+                    self._terminated = True
+                    self._lock.notify_all()
+                    return
+                remaining = None
+                if deadline is not None:
+                    import time
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TerminationError(
+                            "timed out waiting for termination")
+                self._lock.wait(timeout=min(0.05, remaining)
+                                if remaining is not None else 0.05)
+                if poll is not None:
+                    poll()
+
+    @property
+    def terminated(self) -> bool:
+        with self._lock:
+            return self._terminated
+
+    def snapshot_flags(self) -> List[bool]:
+        with self._lock:
+            return list(self._inactive)

@@ -1,0 +1,114 @@
+"""Designated messages ``M(i, j)`` and the per-worker buffer ``B_x̄``.
+
+After each round, worker ``P_i`` groups the changed values of its update
+parameters by destination fragment and pushes one :class:`Message` per
+destination (point-to-point, push-based).  Each entry is the paper's
+``(x, val, r)`` triple: the update parameter, its value, and the round that
+produced it.
+
+:class:`MessageBuffer` is the receiver-side buffer.  Its length is the
+staleness measure ``eta_i`` of Section 3 — *"the number of messages in buffer
+B received by P_i from distinct workers"* — counted as message batches, which
+is what the worked example (Example 4) counts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, List, Set, Tuple
+
+Node = Hashable
+
+#: crude but deterministic size accounting: bytes per (node, value, round) entry
+ENTRY_BYTES = 16
+#: fixed per-message envelope overhead
+ENVELOPE_BYTES = 24
+
+_seq = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """One designated message ``M(src, dst)`` produced by one round."""
+
+    src: int
+    dst: int
+    round: int
+    entries: Tuple[Tuple[Node, Any], ...]
+    #: monotonically increasing id used for deterministic tie-breaking
+    seq: int = field(default_factory=lambda: next(_seq))
+    #: protocol flags (e.g. Chandy-Lamport snapshot token)
+    token: Any = None
+    #: wire size of one entry (programs shipping vectors override this)
+    entry_bytes: int = ENTRY_BYTES
+
+    @property
+    def size_bytes(self) -> int:
+        return ENVELOPE_BYTES + self.entry_bytes * len(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def make_messages(src: int, round_no: int,
+                  per_destination: Dict[int, List[Tuple[Node, Any]]],
+                  token: Any = None,
+                  entry_bytes: int = ENTRY_BYTES) -> List[Message]:
+    """Build one message per destination fragment from grouped entries."""
+    out = []
+    for dst in sorted(per_destination):
+        entries = tuple(per_destination[dst])
+        if entries:
+            out.append(Message(src=src, dst=dst, round=round_no,
+                               entries=entries, token=token,
+                               entry_bytes=entry_bytes))
+    return out
+
+
+class MessageBuffer:
+    """Receiver-side buffer ``B_x̄_i`` with staleness accounting."""
+
+    __slots__ = ("_messages", "total_received", "total_bytes")
+
+    def __init__(self):
+        self._messages: List[Message] = []
+        self.total_received = 0
+        self.total_bytes = 0
+
+    def push(self, msg: Message) -> None:
+        self._messages.append(msg)
+        self.total_received += 1
+        self.total_bytes += msg.size_bytes
+
+    def drain(self) -> List[Message]:
+        """Atomically take and clear all buffered messages.
+
+        This is the only point where messages leave the buffer (the paper's
+        single race condition; the threaded runtime guards it with a lock).
+        """
+        taken, self._messages = self._messages, []
+        return taken
+
+    @property
+    def staleness(self) -> int:
+        """``eta_i``: number of message batches currently buffered."""
+        return len(self._messages)
+
+    def distinct_senders(self) -> Set[int]:
+        return {m.src for m in self._messages}
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __bool__(self) -> bool:
+        return bool(self._messages)
+
+
+def group_entries(messages: Iterable[Message]) -> Dict[Node, List[Any]]:
+    """Group buffered entries by node, preserving arrival order."""
+    grouped: Dict[Node, List[Any]] = {}
+    for msg in messages:
+        for node, value in msg.entries:
+            grouped.setdefault(node, []).append(value)
+    return grouped

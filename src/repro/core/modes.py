@@ -1,0 +1,51 @@
+"""Named parallel models: AAP and its special cases.
+
+``make_policy("BSP")`` etc. build the delay policy that turns the AAP engine
+into each model (paper, Section 3, "Special cases"), so every model runs on
+the *same* engine and differences measure the model, not the implementation —
+mirroring the paper's GRAPE+ vs GRAPE+BSP/AP/SSP methodology.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.delay import (AAPPolicy, APPolicy, BSPPolicy, DelayPolicy,
+                              HsyncPolicy, SSPPolicy)
+from repro.errors import RuntimeConfigError
+
+#: canonical mode names, in the order the paper compares them
+MODES = ("AAP", "BSP", "AP", "SSP", "Hsync")
+
+
+def make_policy(mode: str, *, staleness_bound: Optional[int] = None,
+                **kwargs: Any) -> DelayPolicy:
+    """Build the delay policy for a named parallel model.
+
+    ``staleness_bound`` is the SSP bound ``c`` (default 1 for SSP) and the
+    optional bounded-staleness predicate for AAP (CF-style programs).
+    Remaining keyword arguments go to the policy constructor (AAP L⊥ and
+    window knobs, Hsync thresholds).
+    """
+    key = mode.strip().upper()
+    if key == "BSP":
+        return BSPPolicy()
+    if key == "AP":
+        return APPolicy()
+    if key == "SSP":
+        c = 1 if staleness_bound is None else staleness_bound
+        return SSPPolicy(staleness_bound=c)
+    if key == "AAP":
+        return AAPPolicy(staleness_bound=staleness_bound, **kwargs)
+    if key == "HSYNC":
+        return HsyncPolicy(**kwargs)
+    raise RuntimeConfigError(
+        f"unknown mode {mode!r}; expected one of {MODES}")
+
+
+def policy_table(staleness_bound: Optional[int] = None,
+                 **aap_kwargs: Any) -> Dict[str, DelayPolicy]:
+    """Fresh policies for all modes (one run each; policies are stateful)."""
+    return {m: make_policy(m, staleness_bound=staleness_bound,
+                           **(aap_kwargs if m == "AAP" else {}))
+            for m in MODES}

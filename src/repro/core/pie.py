@@ -1,0 +1,254 @@
+"""The PIE programming model: PEval + IncEval + Assemble.
+
+A :class:`PIEProgram` parallelises an existing sequential algorithm exactly as
+in GRAPE/AAP (Section 2 of the paper):
+
+- :meth:`PIEProgram.peval` — a sequential *batch* algorithm run once per
+  fragment (round 0);
+- :meth:`PIEProgram.inceval` — a sequential *incremental* algorithm run on
+  every later round, triggered by aggregated changes to the update parameters;
+- :meth:`PIEProgram.assemble` — collects partial results into ``Q(G)``.
+
+The only additions over the sequential algorithms are the declarations:
+the *candidate set* ``C_i`` (:meth:`candidates`), whose status variables are
+the update parameters, and the aggregate function ``f_aggr``
+(:attr:`aggregator`) that resolves conflicting writes.
+
+:class:`FragmentContext` holds the per-fragment status variables and tracks
+changes so the engine can derive designated messages by diffing.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import (Any, Dict, FrozenSet, Hashable, Iterable, List, Mapping,
+                    Optional, Sequence, Set, Tuple)
+
+from repro.core.aggregators import Aggregator
+from repro.errors import ProgramError
+from repro.partition.fragment import Fragment, PartitionedGraph
+
+Node = Hashable
+
+
+class FragmentContext:
+    """Mutable per-fragment state handed to PEval/IncEval.
+
+    - :attr:`values` maps every locally present node to its status variable
+      (the update parameters are the subset on the candidate set).
+    - :attr:`changed` records nodes whose value changed since the last message
+      derivation; the engine ships the changed candidates and clears it.
+    - :attr:`scratch` is free-form program-private storage that persists
+      across rounds (e.g. CC's component index, CF's gradient accumulators).
+    - :attr:`work` accumulates abstract work units for the cost model.
+    """
+
+    __slots__ = ("fragment", "aggregator", "values", "changed", "scratch",
+                 "work", "round")
+
+    def __init__(self, fragment: Fragment, aggregator: Aggregator,
+                 init_values: Mapping[Node, Any]):
+        self.fragment = fragment
+        self.aggregator = aggregator
+        self.values: Dict[Node, Any] = dict(init_values)
+        self.changed: Set[Node] = set()
+        self.scratch: Dict[str, Any] = {}
+        self.work = 0
+        self.round = 0
+
+    # -- status variable access ---------------------------------------
+    def get(self, v: Node) -> Any:
+        try:
+            return self.values[v]
+        except KeyError:
+            raise ProgramError(
+                f"node {v!r} has no status variable on fragment "
+                f"{self.fragment.fid}") from None
+
+    def set(self, v: Node, value: Any) -> bool:
+        """Assign ``value`` to ``v``'s status variable; track the change.
+
+        Returns ``True`` iff the value actually changed.
+        """
+        if v not in self.values:
+            raise ProgramError(
+                f"node {v!r} has no status variable on fragment "
+                f"{self.fragment.fid}")
+        if self.values[v] == value:
+            return False
+        self.values[v] = value
+        self.changed.add(v)
+        return True
+
+    def update(self, v: Node, *incoming: Any) -> bool:
+        """Aggregate ``incoming`` into ``v`` via ``f_aggr``; track the change."""
+        return self.set(v, self.aggregator.combine(self.get(v), incoming))
+
+    def set_silent(self, v: Node, value: Any) -> None:
+        """Assign without change tracking.
+
+        Used by accumulative programs to reset a shipped delta inside
+        :meth:`PIEProgram.emit` without re-marking the node as changed.
+        """
+        if v not in self.values:
+            raise ProgramError(
+                f"node {v!r} has no status variable on fragment "
+                f"{self.fragment.fid}")
+        self.values[v] = value
+
+    def add_work(self, units: int = 1) -> None:
+        """Account ``units`` of abstract computation for the cost model."""
+        self.work += units
+
+    def take_work(self) -> int:
+        units, self.work = self.work, 0
+        return units
+
+    def take_changed(self) -> Set[Node]:
+        changed, self.changed = self.changed, set()
+        return changed
+
+
+class PIEProgram(abc.ABC):
+    """A PIE program ``rho = (PEval, IncEval, Assemble)`` for a query class Q."""
+
+    #: the aggregate function f_aggr shared by PEval and IncEval
+    aggregator: Aggregator
+
+    #: True when correctness requires bounded staleness (the paper: CF only)
+    needs_bounded_staleness: bool = False
+    #: default staleness bound c when bounded staleness is required
+    default_staleness_bound: int = 5
+    #: True when the value domain is finite given a graph (condition T1)
+    finite_domain: bool = True
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+    def candidates(self, frag: Fragment) -> FrozenSet[Node]:
+        """The candidate set ``C_i`` whose variables are update parameters.
+
+        Defaults to every node shared with another fragment, which is correct
+        under both edge-cut and vertex-cut.  Programs may restrict it (the
+        paper uses ``F_i.O`` for CC/SSSP under edge-cut).
+        """
+        return frag.shared_nodes
+
+    def ship_set(self, frag: Fragment) -> FrozenSet[Node]:
+        """Nodes whose changed values are shipped to co-hosting fragments.
+
+        Defaults to every candidate that resides somewhere else.  Accumulative
+        programs typically restrict this to mirror copies.
+        """
+        return frozenset(v for v in self.candidates(frag)
+                         if frag.locations(v))
+
+    @abc.abstractmethod
+    def init_values(self, frag: Fragment, query: Any) -> Dict[Node, Any]:
+        """Initial status variables for every locally present node."""
+
+    # ------------------------------------------------------------------
+    # the three functions
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def peval(self, frag: Fragment, ctx: FragmentContext, query: Any) -> None:
+        """Sequential batch algorithm computing ``Q(F_i)`` (round 0)."""
+
+    @abc.abstractmethod
+    def inceval(self, frag: Fragment, ctx: FragmentContext,
+                activated: Set[Node], query: Any) -> None:
+        """Sequential incremental algorithm computing ``Q(F_i ⊕ M_i)``.
+
+        ``activated`` is the set of nodes whose update parameter changed when
+        the aggregated messages ``M_i = f_aggr(B ∪ C_i.x̄)`` were applied; the
+        new values are already visible through ``ctx``.
+        """
+
+    @abc.abstractmethod
+    def assemble(self, pg: PartitionedGraph,
+                 contexts: Sequence[FragmentContext], query: Any) -> Any:
+        """Collect the partial results into the final answer ``Q(G)``."""
+
+    # ------------------------------------------------------------------
+    # message hooks (defaults cover lattice aggregators)
+    # ------------------------------------------------------------------
+    def emit(self, frag: Fragment, ctx: FragmentContext, v: Node) -> Any:
+        """Payload to ship for changed node ``v``; default: its value.
+
+        Accumulative programs override this to ship-and-reset deltas.
+        """
+        return ctx.get(v)
+
+    def destinations(self, pg: PartitionedGraph, frag: Fragment,
+                     v: Node) -> Sequence[int]:
+        """Fragments that receive ``v``'s changed value.
+
+        Default: every other fragment where ``v`` resides (the routing index
+        ``I_i``).  Accumulative programs ship deltas to the owner only, so a
+        delta is consumed exactly once.
+        """
+        return frag.locations(v)
+
+    def should_ship(self, frag: Fragment, ctx: FragmentContext,
+                    v: Node) -> bool:
+        """Whether ``v``'s changed value is worth a message right now.
+
+        Lattice programs ship every improvement (default).  Accumulative
+        programs may hold back sub-threshold deltas (Maiter-style), trading
+        a bounded residual for far less traffic.
+        """
+        return True
+
+    def apply_incoming(self, frag: Fragment, ctx: FragmentContext, v: Node,
+                       payloads: Sequence[Any]) -> bool:
+        """Apply buffered payloads for node ``v``; return True if changed.
+
+        Default: aggregate through ``f_aggr`` (``M_i = f_aggr(B ∪ C_i.x̄)``).
+        """
+        return ctx.update(v, *payloads)
+
+    # ------------------------------------------------------------------
+    # streaming updates (the paper's future-work extension)
+    # ------------------------------------------------------------------
+    def inc_update(self, frag: Fragment, ctx: FragmentContext,
+                   inserted: Sequence[Tuple[Node, Node, float]],
+                   query: Any) -> Set[Node]:
+        """Integrate locally materialised edge insertions into the state.
+
+        Called by :class:`repro.streaming.StreamingSession` after the
+        fragment graph has been extended; returns the nodes IncEval should
+        be (re)activated from.  Programs that support streaming override
+        this; the default declares the program non-streamable.
+        """
+        raise ProgramError(
+            f"{self.name} does not support streaming updates")
+
+    # ------------------------------------------------------------------
+    # convergence support (conditions T1-T3, Section 4.1)
+    # ------------------------------------------------------------------
+    def leq(self, a: Any, b: Any) -> bool:
+        """Partial order on status-variable values: ``a <=_p b``.
+
+        ``a <=_p b`` means ``a`` is at least as advanced as ``b`` (e.g. a
+        smaller distance under ``min``).  Defaults to the aggregator's order.
+        """
+        return self.aggregator.leq(a, b)
+
+    def value_size_bytes(self, value: Any) -> int:
+        """Approximate wire size of one shipped value (communication metric)."""
+        return 16
+
+    # ------------------------------------------------------------------
+    def make_context(self, frag: Fragment, query: Any) -> FragmentContext:
+        """Build the initial per-fragment context (engine entry point)."""
+        init = self.init_values(frag, query)
+        missing = [v for v in frag.graph.nodes if v not in init]
+        if missing:
+            raise ProgramError(
+                f"init_values missed {len(missing)} local nodes on fragment "
+                f"{frag.fid} (e.g. {missing[0]!r})")
+        return FragmentContext(frag, self.aggregator, init)
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__

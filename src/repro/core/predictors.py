@@ -1,0 +1,88 @@
+"""Runtime predictors for the dynamic adjustment function delta (Eq. 1).
+
+The paper approximates the predicted round time ``t_i`` and message arrival
+rate ``s_i`` *"by aggregating statistics of consecutive rounds of IncEval"*
+(a random-forest model is mentioned as an optional refinement).  We use
+exponential moving averages, which is the same statistics-of-consecutive-
+rounds idea with a decay knob.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Ema:
+    """Exponential moving average with bias-corrected warm-up."""
+
+    __slots__ = ("alpha", "_value", "_count")
+
+    def __init__(self, alpha: float = 0.5):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: Optional[float] = None
+        self._count = 0
+
+    def observe(self, x: float) -> None:
+        if self._value is None:
+            self._value = x
+        else:
+            self._value = self.alpha * x + (1.0 - self.alpha) * self._value
+        self._count += 1
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def get(self, default: float = 0.0) -> float:
+        return self._value if self._value is not None else default
+
+
+class RoundTimePredictor:
+    """Predicts ``t_i``, the running time of the next IncEval round."""
+
+    __slots__ = ("_ema",)
+
+    def __init__(self, alpha: float = 0.5):
+        self._ema = Ema(alpha)
+
+    def observe_round(self, duration: float) -> None:
+        self._ema.observe(duration)
+
+    def predict(self, default: float = 1.0) -> float:
+        return self._ema.get(default)
+
+
+class ArrivalRatePredictor:
+    """Predicts ``s_i``, the message arrival rate at a worker.
+
+    Tracks inter-arrival gaps of message batches; the rate is the reciprocal
+    of the smoothed gap.  A worker that has seen fewer than two messages has
+    an unknown rate (:meth:`predict` returns 0, meaning "no more expected").
+    """
+
+    __slots__ = ("_ema_gap", "_last_arrival")
+
+    def __init__(self, alpha: float = 0.5):
+        self._ema_gap = Ema(alpha)
+        self._last_arrival: Optional[float] = None
+
+    def observe_arrival(self, now: float) -> None:
+        if self._last_arrival is not None:
+            gap = max(now - self._last_arrival, 0.0)
+            self._ema_gap.observe(gap)
+        self._last_arrival = now
+
+    def predict(self) -> float:
+        """Messages per time unit; 0.0 when unknown or arrivals stopped."""
+        gap = self._ema_gap.value
+        if gap is None:
+            return 0.0
+        if gap <= 0.0:
+            return float("inf")
+        return 1.0 / gap

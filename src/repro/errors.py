@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch one base class.  Subclasses are organised by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by this library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or access (unknown node, bad edge, ...)."""
+
+
+class PartitionError(ReproError):
+    """Invalid partitioning request or inconsistent fragment construction."""
+
+
+class ProgramError(ReproError):
+    """A PIE program violated the programming-model contract."""
+
+
+class RuntimeConfigError(ReproError):
+    """Invalid runtime configuration (cost model, policies, worker counts)."""
+
+
+class TerminationError(ReproError):
+    """The runtime failed to reach the termination protocol's fixpoint."""
+
+
+class ConvergenceError(ReproError):
+    """A convergence-condition check (T1/T2/T3) failed or was inconclusive."""
+
+
+class SnapshotError(ReproError):
+    """Chandy-Lamport snapshot or recovery failed."""

@@ -1,0 +1,7 @@
+"""Graph substrate: property graphs, generators, reference algorithms, IO."""
+
+from repro.graph.graph import Graph, Node
+from repro.graph.csr import CompactGraph
+from repro.graph import generators, analysis, io
+
+__all__ = ["Graph", "CompactGraph", "Node", "generators", "analysis", "io"]

@@ -1,0 +1,180 @@
+"""Sequential reference algorithms and graph statistics.
+
+These single-machine implementations serve three roles:
+
+1. Ground truth for the parallel PIE programs (tests assert that every
+   AAP/BSP/AP/SSP run reproduces these answers — the Church–Rosser property).
+2. The "single-thread" baseline of the paper's Exp-1.
+3. Workload statistics (degree skew, components) used when building benches.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, Node
+
+INF = math.inf
+
+
+def dijkstra(g: Graph, source: Node) -> Dict[Node, float]:
+    """Single-source shortest distances with a binary heap.
+
+    Unreachable nodes map to ``math.inf``.  Edge weights must be positive.
+    """
+    if not g.has_node(source):
+        raise GraphError(f"unknown source: {source!r}")
+    dist: Dict[Node, float] = {v: INF for v in g.nodes}
+    dist[source] = 0.0
+    heap: List[Tuple[float, int, Node]] = [(0.0, 0, source)]
+    seq = 1
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        for u, w in g.out_edges(v):
+            if w < 0:
+                raise GraphError("Dijkstra requires non-negative weights")
+            nd = d + w
+            if nd < dist[u]:
+                dist[u] = nd
+                heapq.heappush(heap, (nd, seq, u))
+                seq += 1
+    return dist
+
+
+def connected_components(g: Graph) -> Dict[Node, Node]:
+    """Map each node to the minimum node id of its (weakly) connected component.
+
+    Works on the undirected view of directed graphs, matching the paper's CC.
+    Node ids must be totally ordered for ``min`` to be defined.
+    """
+    seen: Set[Node] = set()
+    comp: Dict[Node, Node] = {}
+    for start in g.nodes:
+        if start in seen:
+            continue
+        members: List[Node] = []
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            v = queue.popleft()
+            members.append(v)
+            for u, _ in g.out_edges(v):
+                if u not in seen:
+                    seen.add(u)
+                    queue.append(u)
+            if g.directed:
+                for u, _ in g.in_edges(v):
+                    if u not in seen:
+                        seen.add(u)
+                        queue.append(u)
+        cid = min(members)
+        for v in members:
+            comp[v] = cid
+    return comp
+
+
+def components_as_sets(g: Graph) -> List[Set[Node]]:
+    """Connected components as a list of node sets (sorted by min id)."""
+    comp = connected_components(g)
+    buckets: Dict[Node, Set[Node]] = {}
+    for v, cid in comp.items():
+        buckets.setdefault(cid, set()).add(v)
+    return [buckets[cid] for cid in sorted(buckets)]
+
+
+def pagerank(g: Graph, damping: float = 0.85, epsilon: float = 1e-9,
+             max_iter: int = 10_000) -> Dict[Node, float]:
+    """Reference PageRank by Jacobi iteration of ``P_v = d*sum(P_u/N_u) + (1-d)``.
+
+    This is the paper's (non-normalised, Maiter-style) formulation, where every
+    node contributes a constant ``(1-d)`` teleport mass; dangling nodes simply
+    leak their mass.  Iterates until the L1 change drops below ``epsilon``.
+    """
+    nodes = list(g.nodes)
+    score = {v: 1.0 - damping for v in nodes}
+    for _ in range(max_iter):
+        nxt = {v: 1.0 - damping for v in nodes}
+        for v in nodes:
+            deg = g.out_degree(v)
+            if deg == 0:
+                continue
+            share = damping * score[v] / deg
+            for u, _ in g.out_edges(v):
+                nxt[u] += share
+        delta = sum(abs(nxt[v] - score[v]) for v in nodes)
+        score = nxt
+        if delta < epsilon:
+            break
+    return score
+
+
+def bfs_levels(g: Graph, source: Node) -> Dict[Node, int]:
+    """Hop distance from ``source``; unreachable nodes are absent."""
+    if not g.has_node(source):
+        raise GraphError(f"unknown source: {source!r}")
+    level = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u, _ in g.out_edges(v):
+            if u not in level:
+                level[u] = level[v] + 1
+                queue.append(u)
+    return level
+
+
+def degree_histogram(g: Graph) -> Dict[int, int]:
+    """Out-degree -> count histogram."""
+    hist: Dict[int, int] = {}
+    for v in g.nodes:
+        d = g.out_degree(v)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def degree_skew(g: Graph) -> float:
+    """Max out-degree divided by mean out-degree (1.0 = perfectly uniform)."""
+    degs = [g.out_degree(v) for v in g.nodes]
+    if not degs:
+        return 1.0
+    mean = sum(degs) / len(degs)
+    return max(degs) / mean if mean > 0 else 1.0
+
+
+def diameter_estimate(g: Graph, samples: int = 4) -> int:
+    """Lower-bound estimate of the diameter via repeated BFS sweeps."""
+    nodes = list(g.nodes)
+    if not nodes:
+        return 0
+    best = 0
+    v = nodes[0]
+    for _ in range(max(1, samples)):
+        levels = bfs_levels(g, v)
+        if not levels:
+            break
+        far, depth = max(levels.items(), key=lambda kv: kv[1])
+        best = max(best, depth)
+        v = far
+    return best
+
+
+def rmse(predicted: Dict[Tuple[Node, Node], float],
+         actual: Iterable[Tuple[Node, Node, float]]) -> float:
+    """Root mean square error of predicted vs actual edge ratings."""
+    total = 0.0
+    count = 0
+    for u, p, r in actual:
+        key = (u, p)
+        if key not in predicted:
+            continue
+        total += (predicted[key] - r) ** 2
+        count += 1
+    if count == 0:
+        return 0.0
+    return math.sqrt(total / count)

@@ -1,0 +1,196 @@
+"""Compact CSR graph backend (numpy) for large inputs.
+
+:class:`CompactGraph` stores a graph with integer node ids ``0..n-1`` in
+compressed-sparse-row form (``indptr``/``indices``/``weights`` arrays plus
+the reverse adjacency).  It implements the read-side API of
+:class:`repro.graph.graph.Graph` (``nodes``, ``out_edges``, ``in_edges``,
+``edges``, degrees, ``has_node``/``has_edge``, ``weight``), so the
+sequential reference algorithms in :mod:`repro.graph.analysis` and the
+partitioners run on it unchanged — at a fraction of the dict-of-lists
+memory for multi-million-edge graphs.
+
+CompactGraph is immutable; build one with :meth:`from_edges` or
+:meth:`from_graph`, or convert back with :meth:`to_graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+Edge = Tuple[int, int, float]
+
+
+class CompactGraph:
+    """Immutable CSR graph over integer node ids ``0..num_nodes-1``."""
+
+    __slots__ = ("directed", "_n", "_indptr", "_indices", "_weights",
+                 "_rindptr", "_rindices", "_rweights", "_num_edges")
+
+    def __init__(self, num_nodes: int, indptr: np.ndarray,
+                 indices: np.ndarray, weights: np.ndarray,
+                 rindptr: np.ndarray, rindices: np.ndarray,
+                 rweights: np.ndarray, directed: bool, num_edges: int):
+        self.directed = directed
+        self._n = num_nodes
+        self._indptr = indptr
+        self._indices = indices
+        self._weights = weights
+        self._rindptr = rindptr
+        self._rindices = rindices
+        self._rweights = rweights
+        self._num_edges = num_edges
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, num_nodes: int, edges: Iterable[Edge],
+                   directed: bool = True) -> "CompactGraph":
+        """Build from ``(u, v, weight)`` triples over ids ``0..n-1``.
+
+        Duplicate edges are kept as parallel entries (unlike ``Graph``,
+        which collapses them) — deduplicate upstream if needed.
+        """
+        edge_list = list(edges)
+        for u, v, _ in edge_list:
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise GraphError(f"edge ({u}, {v}) out of range 0..{num_nodes - 1}")
+            if u == v:
+                raise GraphError(f"self-loops are not supported: {u}")
+        if directed:
+            fwd = edge_list
+        else:
+            fwd = edge_list + [(v, u, w) for u, v, w in edge_list]
+        src = np.fromiter((e[0] for e in fwd), dtype=np.int64,
+                          count=len(fwd))
+        dst = np.fromiter((e[1] for e in fwd), dtype=np.int64,
+                          count=len(fwd))
+        wgt = np.fromiter((e[2] for e in fwd), dtype=np.float64,
+                          count=len(fwd))
+        indptr, indices, weights = cls._build_csr(num_nodes, src, dst, wgt)
+        rindptr, rindices, rweights = cls._build_csr(num_nodes, dst, src,
+                                                     wgt)
+        return cls(num_nodes, indptr, indices, weights, rindptr, rindices,
+                   rweights, directed, num_edges=len(edge_list))
+
+    @staticmethod
+    def _build_csr(n: int, src: np.ndarray, dst: np.ndarray,
+                   wgt: np.ndarray):
+        order = np.argsort(src, kind="stable")
+        src_sorted = src[order]
+        indices = dst[order]
+        weights = wgt[order]
+        counts = np.bincount(src_sorted, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, indices, weights
+
+    @classmethod
+    def from_graph(cls, g: Graph) -> "CompactGraph":
+        """Convert a :class:`Graph` whose node ids are ``0..n-1`` ints."""
+        nodes = sorted(g.nodes)
+        if nodes != list(range(len(nodes))):
+            raise GraphError(
+                "CompactGraph requires contiguous integer node ids "
+                "0..n-1; relabel first")
+        return cls.from_edges(len(nodes), list(g.edges()),
+                              directed=g.directed)
+
+    def to_graph(self) -> Graph:
+        """Materialise back into a mutable dict-based :class:`Graph`."""
+        g = Graph(directed=self.directed)
+        for v in range(self._n):
+            g.add_node(v)
+        for u, v, w in self.edges():
+            g.add_edge(u, v, w)
+        return g
+
+    # ------------------------------------------------------------------
+    # Graph read API
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> range:
+        return range(self._n)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def has_node(self, v) -> bool:
+        return isinstance(v, (int, np.integer)) and 0 <= v < self._n
+
+    def _check(self, v) -> None:
+        if not self.has_node(v):
+            raise GraphError(f"unknown node: {v!r}")
+
+    def out_edges(self, v) -> List[Tuple[int, float]]:
+        self._check(v)
+        lo, hi = self._indptr[v], self._indptr[v + 1]
+        return list(zip(self._indices[lo:hi].tolist(),
+                        self._weights[lo:hi].tolist()))
+
+    def in_edges(self, v) -> List[Tuple[int, float]]:
+        self._check(v)
+        lo, hi = self._rindptr[v], self._rindptr[v + 1]
+        return list(zip(self._rindices[lo:hi].tolist(),
+                        self._rweights[lo:hi].tolist()))
+
+    def neighbors(self, v) -> Iterator[int]:
+        for u, _ in self.out_edges(v):
+            yield u
+
+    def out_degree(self, v) -> int:
+        self._check(v)
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def in_degree(self, v) -> int:
+        self._check(v)
+        return int(self._rindptr[v + 1] - self._rindptr[v])
+
+    def has_edge(self, u, v) -> bool:
+        if not (self.has_node(u) and self.has_node(v)):
+            return False
+        lo, hi = self._indptr[u], self._indptr[u + 1]
+        return bool(np.any(self._indices[lo:hi] == v))
+
+    def weight(self, u, v) -> float:
+        self._check(u)
+        self._check(v)
+        lo, hi = self._indptr[u], self._indptr[u + 1]
+        hits = np.nonzero(self._indices[lo:hi] == v)[0]
+        if hits.size == 0:
+            raise GraphError(f"unknown edge: ({u!r}, {v!r})")
+        return float(self._weights[lo + hits[0]])
+
+    def node_label(self, v, default=None):
+        return default
+
+    def edges(self) -> Iterator[Edge]:
+        """Each stored edge once (canonical ``u <= v`` for undirected)."""
+        for u in range(self._n):
+            lo, hi = self._indptr[u], self._indptr[u + 1]
+            for idx in range(lo, hi):
+                v = int(self._indices[idx])
+                if self.directed or u <= v:
+                    yield u, v, float(self._weights[idx])
+
+    # ------------------------------------------------------------------
+    def __contains__(self, v) -> bool:
+        return self.has_node(v)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (f"CompactGraph({kind}, nodes={self._n}, "
+                f"edges={self._num_edges})")

@@ -1,0 +1,233 @@
+"""Property graph data structure.
+
+The paper operates on graphs ``G = (V, E, L)``, directed or undirected, where
+nodes and edges may carry labels (properties).  :class:`Graph` is a small,
+explicit adjacency-list structure sized for simulation workloads (up to a few
+hundred thousand edges).  It is deliberately mutable only during construction;
+the engine treats graphs as read-only once partitioned.
+
+Node identifiers are arbitrary hashables, though the generators in
+:mod:`repro.graph.generators` use integers.  Edge weights default to ``1.0``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import GraphError
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class Graph:
+    """A directed or undirected property graph.
+
+    Parameters
+    ----------
+    directed:
+        If ``True`` edges are one-way; otherwise each added edge is traversable
+        in both directions (stored once, mirrored in adjacency).
+    """
+
+    __slots__ = ("directed", "_adj", "_radj", "_node_labels", "_edge_weights",
+                 "_edge_labels", "_num_edges")
+
+    def __init__(self, directed: bool = True):
+        self.directed = directed
+        # node -> list of (neighbour, weight) for outgoing edges
+        self._adj: Dict[Node, List[Tuple[Node, float]]] = {}
+        # node -> list of (neighbour, weight) for incoming edges (directed only)
+        self._radj: Dict[Node, List[Tuple[Node, float]]] = {}
+        self._node_labels: Dict[Node, Any] = {}
+        self._edge_weights: Dict[Edge, float] = {}
+        self._edge_labels: Dict[Edge, Any] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, v: Node, label: Any = None) -> None:
+        """Add node ``v`` (idempotent); optionally set its label."""
+        if v not in self._adj:
+            self._adj[v] = []
+            self._radj[v] = []
+        if label is not None:
+            self._node_labels[v] = label
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0,
+                 label: Any = None) -> None:
+        """Add edge ``(u, v)`` with ``weight``.
+
+        Endpoints are added implicitly.  Parallel edges are collapsed: adding
+        an existing edge overwrites its weight and label.
+        """
+        if u == v:
+            raise GraphError(f"self-loops are not supported: {u!r}")
+        self.add_node(u)
+        self.add_node(v)
+        key = self._edge_key(u, v)
+        if key not in self._edge_weights:
+            self._adj[u].append((v, weight))
+            self._radj[v].append((u, weight))
+            if not self.directed:
+                self._adj[v].append((u, weight))
+                self._radj[u].append((v, weight))
+            self._num_edges += 1
+        elif weight != self._edge_weights[key]:
+            self._rewrite_weight(u, v, weight)
+        self._edge_weights[key] = weight
+        if label is not None:
+            self._edge_labels[key] = label
+
+    def _rewrite_weight(self, u: Node, v: Node, weight: float) -> None:
+        """Update the stored adjacency weight of an existing edge."""
+        self._adj[u] = [(w, weight if w == v else wt) for w, wt in self._adj[u]]
+        self._radj[v] = [(w, weight if w == u else wt) for w, wt in self._radj[v]]
+        if not self.directed:
+            self._adj[v] = [(w, weight if w == u else wt) for w, wt in self._adj[v]]
+            self._radj[u] = [(w, weight if w == v else wt) for w, wt in self._radj[u]]
+
+    def _edge_key(self, u: Node, v: Node) -> Edge:
+        if self.directed:
+            return (u, v)
+        # canonical order for undirected edges so (u,v) == (v,u)
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Iterable[Node]:
+        return self._adj.keys()
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def has_node(self, v: Node) -> bool:
+        return v in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return self._edge_key(u, v) in self._edge_weights
+
+    def out_edges(self, v: Node) -> List[Tuple[Node, float]]:
+        """Outgoing ``(neighbour, weight)`` pairs of ``v``."""
+        try:
+            return self._adj[v]
+        except KeyError:
+            raise GraphError(f"unknown node: {v!r}") from None
+
+    def in_edges(self, v: Node) -> List[Tuple[Node, float]]:
+        """Incoming ``(neighbour, weight)`` pairs of ``v``."""
+        try:
+            return self._radj[v]
+        except KeyError:
+            raise GraphError(f"unknown node: {v!r}") from None
+
+    def neighbors(self, v: Node) -> Iterator[Node]:
+        for u, _ in self.out_edges(v):
+            yield u
+
+    def out_degree(self, v: Node) -> int:
+        return len(self.out_edges(v))
+
+    def in_degree(self, v: Node) -> int:
+        return len(self.in_edges(v))
+
+    def weight(self, u: Node, v: Node) -> float:
+        try:
+            return self._edge_weights[self._edge_key(u, v)]
+        except KeyError:
+            raise GraphError(f"unknown edge: ({u!r}, {v!r})") from None
+
+    def node_label(self, v: Node, default: Any = None) -> Any:
+        return self._node_labels.get(v, default)
+
+    def set_node_label(self, v: Node, label: Any) -> None:
+        if v not in self._adj:
+            raise GraphError(f"unknown node: {v!r}")
+        self._node_labels[v] = label
+
+    def edge_label(self, u: Node, v: Node, default: Any = None) -> Any:
+        return self._edge_labels.get(self._edge_key(u, v), default)
+
+    def edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Iterate over edges once each as ``(u, v, weight)``.
+
+        For undirected graphs each edge appears once in canonical order.
+        """
+        for (u, v), w in self._edge_weights.items():
+            yield u, v, w
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Induced subgraph over ``nodes`` (labels and weights preserved)."""
+        keep = set(nodes)
+        sub = Graph(directed=self.directed)
+        for v in keep:
+            if not self.has_node(v):
+                raise GraphError(f"unknown node: {v!r}")
+            sub.add_node(v, self._node_labels.get(v))
+        for u, v, w in self.edges():
+            if u in keep and v in keep:
+                sub.add_edge(u, v, w, self._edge_labels.get(self._edge_key(u, v)))
+        return sub
+
+    def reverse(self) -> "Graph":
+        """Graph with all edges reversed (identity for undirected graphs)."""
+        if not self.directed:
+            return self.copy()
+        rev = Graph(directed=True)
+        for v in self.nodes:
+            rev.add_node(v, self._node_labels.get(v))
+        for u, v, w in self.edges():
+            rev.add_edge(v, u, w, self._edge_labels.get((u, v)))
+        return rev
+
+    def as_undirected(self) -> "Graph":
+        """Undirected view copy of this graph."""
+        und = Graph(directed=False)
+        for v in self.nodes:
+            und.add_node(v, self._node_labels.get(v))
+        for u, v, w in self.edges():
+            if not und.has_edge(u, v):
+                und.add_edge(u, v, w)
+        return und
+
+    def copy(self) -> "Graph":
+        dup = Graph(directed=self.directed)
+        for v in self.nodes:
+            dup.add_node(v, self._node_labels.get(v))
+        for u, v, w in self.edges():
+            dup.add_edge(u, v, w, self._edge_labels.get(self._edge_key(u, v)))
+        return dup
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __contains__(self, v: Node) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return f"Graph({kind}, nodes={self.num_nodes}, edges={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (self.directed == other.directed
+                and set(self.nodes) == set(other.nodes)
+                and self._edge_weights == other._edge_weights)
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hash
+        return id(self)

@@ -1,0 +1,120 @@
+"""Graph serialisation: whitespace edge lists and a JSON property format.
+
+Edge-list format (one edge per line)::
+
+    # directed: true        <- optional header comment
+    u v [weight]
+
+JSON format stores directedness, node labels and edge weights/labels and
+round-trips property graphs exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(g: Graph, path: PathLike) -> None:
+    """Write ``g`` as a whitespace edge list with a directedness header.
+
+    Isolated nodes are written as single-token lines so they round-trip.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# directed: {'true' if g.directed else 'false'}\n")
+        for u, v, w in g.edges():
+            fh.write(f"{u} {v} {w}\n")
+        for v in g.nodes:
+            if g.out_degree(v) == 0 and g.in_degree(v) == 0:
+                fh.write(f"{v}\n")
+
+
+def read_edge_list(path: PathLike, directed: bool = None) -> Graph:
+    """Read an edge list written by :func:`write_edge_list`.
+
+    Node ids are parsed as ``int`` when possible, otherwise kept as strings.
+    ``directed`` overrides the header when given.
+    """
+    header_directed = None
+    edges = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                lowered = line.lower()
+                if "directed:" in lowered:
+                    header_directed = "true" in lowered
+                continue
+            parts = line.split()
+            if len(parts) == 1:
+                edges.append((_parse_node(parts[0]), None, None))
+            elif len(parts) in (2, 3):
+                u, v = (_parse_node(parts[0]), _parse_node(parts[1]))
+                w = float(parts[2]) if len(parts) == 3 else 1.0
+                edges.append((u, v, w))
+            else:
+                raise GraphError(
+                    f"{path}:{lineno}: expected 'u v [w]' or 'v', got {line!r}")
+    if directed is None:
+        directed = header_directed if header_directed is not None else True
+    g = Graph(directed=directed)
+    for u, v, w in edges:
+        if v is None:
+            g.add_node(u)
+        else:
+            g.add_edge(u, v, w)
+    return g
+
+
+def _parse_node(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def write_json(g: Graph, path: PathLike) -> None:
+    """Write the full property graph (labels included) as JSON."""
+    doc = {
+        "directed": g.directed,
+        "nodes": [{"id": _encode(v), "label": g.node_label(v)} for v in g.nodes],
+        "edges": [{"u": _encode(u), "v": _encode(v), "w": w,
+                   "label": g.edge_label(u, v)}
+                  for u, v, w in g.edges()],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+
+
+def read_json(path: PathLike) -> Graph:
+    """Read a property graph written by :func:`write_json`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    g = Graph(directed=bool(doc["directed"]))
+    for nd in doc["nodes"]:
+        g.add_node(_decode(nd["id"]), nd.get("label"))
+    for ed in doc["edges"]:
+        g.add_edge(_decode(ed["u"]), _decode(ed["v"]), ed.get("w", 1.0),
+                   ed.get("label"))
+    return g
+
+
+def _encode(v):
+    """JSON-encode a node id; tuples become tagged lists."""
+    if isinstance(v, tuple):
+        return {"__tuple__": [_encode(x) for x in v]}
+    return v
+
+
+def _decode(v):
+    if isinstance(v, dict) and "__tuple__" in v:
+        return tuple(_decode(x) for x in v["__tuple__"])
+    return v

@@ -1,0 +1,18 @@
+"""Graph partitioning: edge-cut and vertex-cut strategies, fragments, skew."""
+
+from repro.partition.base import EdgePartitioner, NodePartitioner
+from repro.partition.builder import build_edge_cut, build_vertex_cut
+from repro.partition.edge_cut import (BfsPartitioner, GreedyLdgPartitioner,
+                                      HashPartitioner, RangePartitioner)
+from repro.partition.fragment import Fragment, PartitionedGraph
+from repro.partition.skew import reshuffle_to_skew, skew_ratio
+from repro.partition.vertex_cut import (GreedyVertexCutPartitioner,
+                                        HashEdgePartitioner)
+
+__all__ = [
+    "NodePartitioner", "EdgePartitioner", "Fragment", "PartitionedGraph",
+    "HashPartitioner", "RangePartitioner", "BfsPartitioner",
+    "GreedyLdgPartitioner", "HashEdgePartitioner",
+    "GreedyVertexCutPartitioner", "build_edge_cut", "build_vertex_cut",
+    "reshuffle_to_skew", "skew_ratio",
+]

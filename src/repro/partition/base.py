@@ -1,0 +1,62 @@
+"""Partition strategy interfaces.
+
+The paper lets users pick an edge-cut or vertex-cut strategy ``P``
+(Section 2).  An edge-cut strategy assigns *nodes* to fragments; a vertex-cut
+strategy assigns *edges*.  Both produce a :class:`~repro.partition.fragment.
+PartitionedGraph` via :mod:`repro.partition.builder`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+from repro.errors import PartitionError
+from repro.graph.graph import Graph, Node
+from repro.partition.fragment import PartitionedGraph
+
+
+class NodePartitioner(abc.ABC):
+    """Edge-cut strategy: assigns each node to exactly one fragment."""
+
+    name = "node-partitioner"
+
+    @abc.abstractmethod
+    def assign(self, g: Graph, num_fragments: int) -> Dict[Node, int]:
+        """Return a total map node -> fragment id in ``[0, num_fragments)``."""
+
+    def partition(self, g: Graph, num_fragments: int) -> PartitionedGraph:
+        """Assign nodes and build fragments (edge-cut)."""
+        from repro.partition.builder import build_edge_cut
+        assignment = self.assign(g, num_fragments)
+        _check_node_assignment(g, assignment, num_fragments)
+        return build_edge_cut(g, assignment, num_fragments, self.name)
+
+
+class EdgePartitioner(abc.ABC):
+    """Vertex-cut strategy: assigns each edge to exactly one fragment."""
+
+    name = "edge-partitioner"
+
+    @abc.abstractmethod
+    def assign(self, g: Graph, num_fragments: int):
+        """Return a map (u, v) -> fragment id for every edge of ``g``."""
+
+    def partition(self, g: Graph, num_fragments: int) -> PartitionedGraph:
+        """Assign edges and build fragments (vertex-cut)."""
+        from repro.partition.builder import build_vertex_cut
+        assignment = self.assign(g, num_fragments)
+        return build_vertex_cut(g, assignment, num_fragments, self.name)
+
+
+def _check_node_assignment(g: Graph, assignment: Dict[Node, int],
+                           num_fragments: int) -> None:
+    if num_fragments < 1:
+        raise PartitionError("num_fragments must be >= 1")
+    for v in g.nodes:
+        fid = assignment.get(v)
+        if fid is None:
+            raise PartitionError(f"node {v!r} was not assigned a fragment")
+        if not 0 <= fid < num_fragments:
+            raise PartitionError(
+                f"node {v!r} assigned out-of-range fragment {fid}")

@@ -1,0 +1,161 @@
+"""Fragments: the unit of data-partitioned parallelism.
+
+A fragment ``F_i`` (Section 2 of the paper) is a subgraph assigned to a
+virtual worker.  Under edge-cut, a cut edge from ``F_i`` to ``F_j`` has a copy
+in both fragments, so a fragment holds its *owned* nodes plus *mirror* copies
+of remote endpoints.  The paper's border sets are exposed directly:
+
+- ``F.I``  (:attr:`Fragment.in_border`):   owned nodes with an incoming cut edge,
+- ``F.O'`` (:attr:`Fragment.out_border`):  owned nodes with an outgoing cut edge,
+- ``F.O``  (:attr:`Fragment.out_copies`):  remote nodes that owned nodes point to,
+- ``F.I'`` (:attr:`Fragment.in_copies`):   remote nodes that point into owned nodes.
+
+Each fragment also carries the routing index ``I_i`` (paper, Section 3):
+for a border node ``v``, :meth:`Fragment.locations` returns every other
+fragment where ``v`` resides, used to derive designated messages ``M(i, j)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import PartitionError
+from repro.graph.graph import Graph, Node
+
+
+class Fragment:
+    """One fragment of a partitioned graph, resident at one virtual worker."""
+
+    __slots__ = ("fid", "graph", "owned", "mirrors", "in_border", "out_border",
+                 "out_copies", "in_copies", "cut", "_routing")
+
+    def __init__(self, fid: int, graph: Graph, owned: Iterable[Node],
+                 mirrors: Iterable[Node],
+                 in_border: Iterable[Node], out_border: Iterable[Node],
+                 out_copies: Iterable[Node], in_copies: Iterable[Node],
+                 routing: Mapping[Node, Sequence[int]],
+                 cut: str = "edge"):
+        self.fid = fid
+        self.cut = cut
+        self.graph = graph
+        self.owned: FrozenSet[Node] = frozenset(owned)
+        self.mirrors: FrozenSet[Node] = frozenset(mirrors)
+        self.in_border: FrozenSet[Node] = frozenset(in_border)
+        self.out_border: FrozenSet[Node] = frozenset(out_border)
+        self.out_copies: FrozenSet[Node] = frozenset(out_copies)
+        self.in_copies: FrozenSet[Node] = frozenset(in_copies)
+        self._routing: Dict[Node, Tuple[int, ...]] = {
+            v: tuple(fids) for v, fids in routing.items()}
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.owned & self.mirrors:
+            overlap = next(iter(self.owned & self.mirrors))
+            raise PartitionError(
+                f"fragment {self.fid}: node {overlap!r} both owned and mirror")
+        for v in self.in_border | self.out_border:
+            if v not in self.owned:
+                raise PartitionError(
+                    f"fragment {self.fid}: border node {v!r} not owned")
+        for v in self.out_copies | self.in_copies:
+            if v not in self.mirrors:
+                raise PartitionError(
+                    f"fragment {self.fid}: copy {v!r} not a mirror")
+
+    # ------------------------------------------------------------------
+    @property
+    def border_nodes(self) -> FrozenSet[Node]:
+        """The paper's border nodes of ``F_i``: ``F.I ∪ F.O'``."""
+        return self.in_border | self.out_border
+
+    @property
+    def shared_nodes(self) -> FrozenSet[Node]:
+        """All nodes with a presence in some other fragment (border + mirrors)."""
+        return self.border_nodes | self.mirrors
+
+    def locations(self, v: Node) -> Tuple[int, ...]:
+        """Fragment ids (excluding this one) where node ``v`` also resides.
+
+        This is the routing index ``I_i`` deduced from the partition strategy.
+        Nodes local to this fragment only return an empty tuple.
+        """
+        return self._routing.get(v, ())
+
+    def peer_fragments(self) -> FrozenSet[int]:
+        """Fragments sharing at least one node with this one (its senders)."""
+        peers = set()
+        for fids in self._routing.values():
+            peers.update(fids)
+        return frozenset(peers)
+
+    def nodes(self) -> Iterable[Node]:
+        """All nodes present locally (owned + mirrors)."""
+        return self.graph.nodes
+
+    @property
+    def num_local_nodes(self) -> int:
+        return len(self.owned)
+
+    @property
+    def num_local_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def size(self) -> int:
+        """Fragment size ``|F_i|`` (nodes + edges), used for skew ratio r."""
+        return self.graph.num_nodes + self.graph.num_edges
+
+    def __repr__(self) -> str:
+        return (f"Fragment(fid={self.fid}, owned={len(self.owned)}, "
+                f"mirrors={len(self.mirrors)}, edges={self.graph.num_edges})")
+
+
+class PartitionedGraph:
+    """A graph partitioned into fragments ``(F_1, ..., F_m)``.
+
+    Provides the global placement map (node -> fragments where it resides)
+    and owner lookup used by the engine and by ``Assemble``.
+    """
+
+    __slots__ = ("fragments", "owner", "placement", "strategy_name", "cut")
+
+    def __init__(self, fragments: Sequence[Fragment],
+                 owner: Mapping[Node, int],
+                 placement: Mapping[Node, Sequence[int]],
+                 strategy_name: str = "custom", cut: str = "edge"):
+        self.cut = cut
+        self.fragments: List[Fragment] = list(fragments)
+        self.owner: Dict[Node, int] = dict(owner)
+        self.placement: Dict[Node, Tuple[int, ...]] = {
+            v: tuple(fids) for v, fids in placement.items()}
+        self.strategy_name = strategy_name
+        if not self.fragments:
+            raise PartitionError("a partition needs at least one fragment")
+        seen_fids = {f.fid for f in self.fragments}
+        if seen_fids != set(range(len(self.fragments))):
+            raise PartitionError(
+                f"fragment ids must be 0..m-1, got {sorted(seen_fids)}")
+
+    @property
+    def num_fragments(self) -> int:
+        return len(self.fragments)
+
+    def fragment_of(self, v: Node) -> Fragment:
+        """The fragment that owns node ``v``."""
+        try:
+            return self.fragments[self.owner[v]]
+        except KeyError:
+            raise PartitionError(f"node {v!r} has no owner") from None
+
+    def sizes(self) -> List[int]:
+        return [f.size for f in self.fragments]
+
+    def __iter__(self):
+        return iter(self.fragments)
+
+    def __len__(self) -> int:
+        return len(self.fragments)
+
+    def __repr__(self) -> str:
+        return (f"PartitionedGraph(m={self.num_fragments}, "
+                f"strategy={self.strategy_name!r}, sizes={self.sizes()})")

@@ -1,0 +1,72 @@
+"""Partition skew: measurement and controlled reshuffling.
+
+Exp-4 of the paper (Fig. 6(k)) studies the skew ratio
+``r = |F_max| / |F_median|`` and states: *"To evaluate the impact of
+stragglers, we randomly reshuffled a small portion of each partitioned input
+graph ... and made the graphs skewed."*  :func:`reshuffle_to_skew` reproduces
+that knob: it moves nodes into fragment 0 until the requested ratio is
+reached, so that fragment 0 becomes the straggler.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from typing import Dict, Optional
+
+from repro.errors import PartitionError
+from repro.graph.graph import Graph, Node
+from repro.partition.builder import build_edge_cut
+from repro.partition.fragment import PartitionedGraph
+
+
+def skew_ratio(pg: PartitionedGraph) -> float:
+    """``r = |F_max| / |F_median|`` over fragment sizes (nodes + edges)."""
+    sizes = pg.sizes()
+    median = statistics.median(sizes)
+    if median == 0:
+        return 1.0
+    return max(sizes) / median
+
+
+def reshuffle_to_skew(g: Graph, assignment: Dict[Node, int], m: int,
+                      target_ratio: float, heavy_fragment: int = 0,
+                      seed: Optional[int] = None,
+                      strategy_name: str = "skewed") -> PartitionedGraph:
+    """Move random nodes into ``heavy_fragment`` until the skew ratio is met.
+
+    Starts from a node assignment (edge-cut) and greedily reassigns randomly
+    chosen nodes from other fragments until
+    ``skew_ratio >= target_ratio`` or no movable node remains.
+    """
+    if target_ratio < 1.0:
+        raise PartitionError(f"target_ratio must be >= 1, got {target_ratio}")
+    if not 0 <= heavy_fragment < m:
+        raise PartitionError(f"heavy_fragment {heavy_fragment} out of range")
+    rng = random.Random(seed if seed is not None else 0)
+    assignment = dict(assignment)
+    movable = [v for v in g.nodes if assignment[v] != heavy_fragment]
+    rng.shuffle(movable)
+    pg = build_edge_cut(g, assignment, m, strategy_name)
+    idx = 0
+    while skew_ratio(pg) < target_ratio and idx < len(movable):
+        # estimate how many moves close the remaining gap (each moved node
+        # also drags cut-edge copies, so this overshoots slightly and the
+        # loop converges in very few partition rebuilds)
+        sizes = pg.sizes()
+        median = statistics.median(sizes)
+        deficit = target_ratio * median - sizes[heavy_fragment]
+        per_node = max(pg.fragments[heavy_fragment].size
+                       / max(len(pg.fragments[heavy_fragment].owned), 1), 1.0)
+        # conservative batch: close at most a third of the estimated gap
+        # per rebuild, so the final ratio lands near the target instead of
+        # far past it
+        batch = max(1, min(int(deficit / per_node / 3),
+                           len(movable) // 10))
+        for _ in range(batch):
+            if idx >= len(movable):
+                break
+            assignment[movable[idx]] = heavy_fragment
+            idx += 1
+        pg = build_edge_cut(g, assignment, m, strategy_name)
+    return pg

@@ -1,0 +1,9 @@
+"""Runtimes: deterministic discrete-event simulator and threaded executor."""
+
+from repro.runtime.costmodel import CostModel
+from repro.runtime.metrics import RunMetrics, WorkerMetrics
+from repro.runtime.simulator import SimulatedRuntime
+from repro.runtime.trace import TraceRecorder, ascii_gantt
+
+__all__ = ["CostModel", "RunMetrics", "WorkerMetrics", "SimulatedRuntime",
+           "TraceRecorder", "ascii_gantt"]

@@ -1,0 +1,132 @@
+"""Cost model: converts abstract work and bytes into simulated time.
+
+The simulator charges each round ``alpha + beta * work * speed(wid)`` and
+each message ``latency + size/bandwidth``.  Straggling workers (the paper's
+``P_3`` in Example 1, ``P_12`` in Appendix B) are modelled with per-worker
+speed factors > 1.  All jitter is drawn from a seeded generator so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Mapping, Optional, Sequence, Union
+
+from repro.errors import RuntimeConfigError
+
+SpeedSpec = Union[None, Mapping[int, float], Sequence[float],
+                  Callable[[int], float]]
+
+
+class CostModel:
+    """Timing parameters of the simulated cluster.
+
+    Parameters
+    ----------
+    alpha:
+        Fixed per-round scheduling overhead.
+    beta:
+        Time per unit of work (edge relaxations, SGD steps, ...).
+    speed:
+        Per-worker slowdown factor (1.0 = nominal; 4.0 = 4x slower).  A dict,
+        sequence, callable, or ``None`` for uniform speed.
+    msg_cost:
+        Receiver-side CPU time per consumed message batch (deserialisation,
+        aggregation dispatch).  This is what makes per-message round churn
+        expensive, as on real clusters.
+    send_cost:
+        Sender-side CPU time per produced message.
+    latency:
+        Fixed network latency per message.
+    bandwidth:
+        Bytes per time unit; ``None`` models infinite bandwidth.
+    latency_jitter:
+        Uniform jitter amplitude added to each message's latency
+        (deterministic given ``seed``).
+    fixed_round_time:
+        Optional per-worker constant round duration overriding work-based
+        costing — used to reproduce the paper's Example 1 exactly
+        ("P1 and P2 take 3 time units, P3 takes 6").
+    min_round_time:
+        Lower bound on any round's duration.
+    """
+
+    def __init__(self, alpha: float = 0.1, beta: float = 0.01,
+                 speed: SpeedSpec = None, latency: float = 0.05,
+                 msg_cost: float = 0.02, send_cost: float = 0.01,
+                 bandwidth: Optional[float] = None,
+                 latency_jitter: float = 0.0,
+                 fixed_round_time: Optional[Mapping[int, float]] = None,
+                 min_round_time: float = 1e-6,
+                 seed: Optional[int] = None):
+        if min(alpha, beta, latency, latency_jitter, msg_cost, send_cost) < 0:
+            raise RuntimeConfigError("cost parameters must be non-negative")
+        if bandwidth is not None and bandwidth <= 0:
+            raise RuntimeConfigError("bandwidth must be positive or None")
+        self.alpha = alpha
+        self.beta = beta
+        self._speed = speed
+        self.latency = latency
+        self.msg_cost = msg_cost
+        self.send_cost = send_cost
+        self.bandwidth = bandwidth
+        self.latency_jitter = latency_jitter
+        self.fixed_round_time = dict(fixed_round_time or {})
+        self.min_round_time = min_round_time
+        self._rng = random.Random(seed if seed is not None else 0)
+
+    # ------------------------------------------------------------------
+    def speed(self, wid: int) -> float:
+        spec = self._speed
+        if spec is None:
+            return 1.0
+        if callable(spec):
+            return float(spec(wid))
+        if isinstance(spec, Mapping):
+            return float(spec.get(wid, 1.0))
+        try:
+            return float(spec[wid])
+        except IndexError:
+            return 1.0
+
+    def round_time(self, wid: int, work: int, batches_consumed: int = 0,
+                   messages_sent: int = 0) -> float:
+        """Duration of one PEval/IncEval round doing ``work`` units.
+
+        ``batches_consumed`` message batches are deserialised and
+        ``messages_sent`` messages serialised as part of the round.
+        """
+        if wid in self.fixed_round_time:
+            return max(self.fixed_round_time[wid], self.min_round_time)
+        t = (self.alpha + self.beta * max(work, 0)
+             + self.msg_cost * max(batches_consumed, 0)
+             + self.send_cost * max(messages_sent, 0)) * self.speed(wid)
+        return max(t, self.min_round_time)
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """Network time for one message of ``size_bytes``."""
+        t = self.latency
+        if self.latency_jitter > 0:
+            t += self._rng.uniform(0.0, self.latency_jitter)
+        if self.bandwidth is not None:
+            t += size_bytes / self.bandwidth
+        return t
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, **kwargs) -> "CostModel":
+        """All workers at nominal speed (no stragglers)."""
+        kwargs.setdefault("speed", None)
+        return cls(**kwargs)
+
+    @classmethod
+    def with_straggler(cls, straggler: int, factor: float = 4.0,
+                       **kwargs) -> "CostModel":
+        """One worker ``factor`` times slower — the paper's straggler setup."""
+        if factor <= 0:
+            raise RuntimeConfigError("straggler factor must be positive")
+        return cls(speed={straggler: factor}, **kwargs)
+
+    def __repr__(self) -> str:
+        return (f"CostModel(alpha={self.alpha}, beta={self.beta}, "
+                f"latency={self.latency}, bandwidth={self.bandwidth})")

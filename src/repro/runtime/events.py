@@ -1,0 +1,93 @@
+"""Discrete-event core: a deterministic future-event queue.
+
+Events are totally ordered by ``(time, seq)`` where ``seq`` is the insertion
+counter, so simultaneous events fire in schedule order and every run is
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.core.messages import Message
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event; subclasses carry their payload."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class RoundEnd(Event):
+    """Worker ``wid`` finishes its current round (messages become visible)."""
+
+    wid: int = 0
+
+
+@dataclass(frozen=True)
+class Deliver(Event):
+    """Message arrives at its destination worker's buffer."""
+
+    message: Message = None
+
+
+@dataclass(frozen=True)
+class WakeUp(Event):
+    """A delay stretch expired; re-evaluate worker ``wid``.
+
+    ``epoch`` implements lazy cancellation: the event is ignored unless it
+    matches the worker's current wake epoch.
+    """
+
+    wid: int = 0
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class HostFree(Event):
+    """A physical host may have freed up; retry queued virtual workers."""
+
+    host: int = 0
+
+
+@dataclass(frozen=True)
+class Custom(Event):
+    """Extension point (fault injection, snapshot requests)."""
+
+    tag: str = ""
+    payload: Any = None
+
+
+class EventQueue:
+    """Min-heap of events with deterministic total order."""
+
+    __slots__ = ("_heap", "_counter", "processed")
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+        self.processed = 0
+
+    def push(self, event: Event) -> None:
+        if event.time < 0:
+            raise ValueError(f"event time must be >= 0, got {event.time}")
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+
+    def pop(self) -> Event:
+        _, _, event = heapq.heappop(self._heap)
+        self.processed += 1
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

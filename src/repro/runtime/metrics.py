@@ -1,0 +1,92 @@
+"""Run metrics: the statistics collector of GRAPE+ (Section 6).
+
+Gathers per-worker information — rounds, busy/idle/suspended time, messages
+and bytes exchanged — and aggregates the quantities the paper reports:
+response time, communication cost, idle time, and (at bench level, relative
+to a BSP reference) stale computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class WorkerMetrics:
+    """Final statistics of one virtual worker."""
+
+    wid: int
+    rounds: int = 0
+    busy_time: float = 0.0
+    idle_time: float = 0.0
+    suspended_time: float = 0.0
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    work_done: int = 0
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated statistics of one run."""
+
+    workers: List[WorkerMetrics] = field(default_factory=list)
+    #: simulated (or wall-clock) response time of the run
+    makespan: float = 0.0
+    #: total computation time across workers
+    total_busy: float = 0.0
+    total_idle: float = 0.0
+    total_suspended: float = 0.0
+    total_messages: int = 0
+    total_bytes: int = 0
+    total_work: int = 0
+    total_rounds: int = 0
+
+    @classmethod
+    def from_workers(cls, workers: List[WorkerMetrics],
+                     makespan: float) -> "RunMetrics":
+        m = cls(workers=workers, makespan=makespan)
+        for w in workers:
+            m.total_busy += w.busy_time
+            m.total_idle += w.idle_time
+            m.total_suspended += w.suspended_time
+            m.total_messages += w.messages_sent
+            m.total_bytes += w.bytes_sent
+            m.total_work += w.work_done
+            m.total_rounds += w.rounds
+        return m
+
+    @property
+    def max_rounds(self) -> int:
+        return max((w.rounds for w in self.workers), default=0)
+
+    @property
+    def idle_ratio(self) -> float:
+        denom = self.total_busy + self.total_idle + self.total_suspended
+        return self.total_idle / denom if denom > 0 else 0.0
+
+    def straggler_rounds(self) -> int:
+        """Rounds taken by the worker with the most computation time.
+
+        The paper's Appendix B reports how many rounds the *straggler* needed
+        under each model; the straggler is the worker with max busy time.
+        """
+        if not self.workers:
+            return 0
+        straggler = max(self.workers, key=lambda w: w.busy_time)
+        return straggler.rounds
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "makespan": self.makespan,
+            "total_busy": self.total_busy,
+            "total_idle": self.total_idle,
+            "idle_ratio": self.idle_ratio,
+            "total_messages": float(self.total_messages),
+            "total_bytes": float(self.total_bytes),
+            "total_work": float(self.total_work),
+            "total_rounds": float(self.total_rounds),
+            "max_rounds": float(self.max_rounds),
+        }

@@ -1,0 +1,78 @@
+"""Structured run reports: JSON export of results, metrics and traces.
+
+The statistics collector's output (Section 6) as machine-readable
+documents, for dashboards and regression tracking.  ``repro run --report
+out.json`` writes one from the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.core.result import RunResult
+
+
+def worker_dict(w) -> Dict[str, Any]:
+    return {
+        "wid": w.wid,
+        "rounds": w.rounds,
+        "busy_time": w.busy_time,
+        "idle_time": w.idle_time,
+        "suspended_time": w.suspended_time,
+        "messages_sent": w.messages_sent,
+        "messages_received": w.messages_received,
+        "bytes_sent": w.bytes_sent,
+        "bytes_received": w.bytes_received,
+        "work_done": w.work_done,
+    }
+
+
+def result_to_dict(result: RunResult, include_trace: bool = False,
+                   include_answer: bool = False) -> Dict[str, Any]:
+    """Serialise a run result.
+
+    The answer is excluded by default (it can be huge and its node ids may
+    not be JSON keys); pass ``include_answer=True`` for small runs.
+    """
+    doc: Dict[str, Any] = {
+        "mode": result.mode,
+        "time": result.time,
+        "rounds": result.rounds,
+        "metrics": {
+            "makespan": result.metrics.makespan,
+            "total_busy": result.metrics.total_busy,
+            "total_idle": result.metrics.total_idle,
+            "total_suspended": result.metrics.total_suspended,
+            "total_messages": result.metrics.total_messages,
+            "total_bytes": result.metrics.total_bytes,
+            "total_work": result.metrics.total_work,
+            "total_rounds": result.metrics.total_rounds,
+            "idle_ratio": result.metrics.idle_ratio,
+            "workers": [worker_dict(w) for w in result.metrics.workers],
+        },
+        "extras": {k: v for k, v in result.extras.items()
+                   if isinstance(v, (int, float, str, bool))},
+    }
+    if include_trace and result.trace is not None:
+        doc["trace"] = [
+            {"wid": iv.wid, "start": iv.start, "end": iv.end,
+             "kind": iv.kind, "round": iv.round}
+            for iv in result.trace.intervals]
+    if include_answer:
+        doc["answer"] = {repr(k): v for k, v in result.answer.items()} \
+            if isinstance(result.answer, dict) else repr(result.answer)
+    return doc
+
+
+def write_report(result: RunResult, path: str,
+                 include_trace: bool = False,
+                 include_answer: bool = False,
+                 extra: Optional[Dict[str, Any]] = None) -> None:
+    """Write the JSON report to ``path``."""
+    doc = result_to_dict(result, include_trace=include_trace,
+                         include_answer=include_answer)
+    if extra:
+        doc["context"] = extra
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)

@@ -1,0 +1,184 @@
+"""Threaded runtime: real asynchronous execution with OS threads.
+
+Where the simulator *models* asynchrony deterministically, this runtime
+*is* asynchronous: one thread per virtual worker, push-based point-to-point
+queues, the paper's master termination protocol
+(:class:`~repro.core.master.TerminationMaster`), and delay stretches
+realised as wall-clock waits.
+
+Because of the GIL this runtime does not demonstrate speed-up (the repro
+band notes compute-heavy async workers need multiprocessing); it
+demonstrates *correctness under real races*: the Church-Rosser tests run the
+same program here and compare with the reference answer.  Wall-clock delay
+stretches are scaled by ``time_scale`` so tests stay fast.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Any, List, Optional
+
+from repro.core.delay import DelayPolicy, WorkerView
+from repro.core.engine import Engine
+from repro.core.master import TerminationMaster
+from repro.core.result import RunResult
+from repro.core.worker import WorkerState, WorkerStatus
+from repro.errors import TerminationError
+from repro.runtime.metrics import RunMetrics, WorkerMetrics
+
+
+class ThreadedRuntime:
+    """Run a PIE program on real threads until the termination protocol ends.
+
+    Parameters
+    ----------
+    time_scale:
+        Multiplier applied to finite delay stretches (seconds); keep small.
+    max_wait:
+        Cap on any single wall-clock wait, so a policy returning large finite
+        delays cannot stall tests.
+    timeout:
+        Overall run timeout (seconds).
+    """
+
+    def __init__(self, engine: Engine, policy: DelayPolicy,
+                 time_scale: float = 0.001, max_wait: float = 0.05,
+                 timeout: float = 120.0):
+        self.engine = engine
+        self.policy = policy
+        self.time_scale = time_scale
+        self.max_wait = max_wait
+        self.timeout = timeout
+        m = engine.num_workers
+        self.workers = [WorkerState(wid) for wid in range(m)]
+        self.master = TerminationMaster(m)
+        self._locks = [threading.Lock() for _ in range(m)]
+        self._events = [threading.Event() for _ in range(m)]
+        self._num_peers = [len(frag.peer_fragments()) for frag in engine.pg]
+        self._error: Optional[BaseException] = None
+        self._start_time = 0.0
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        self._start_time = time.monotonic()
+        threads = [threading.Thread(target=self._worker_loop, args=(wid,),
+                                    name=f"grape-worker-{wid}", daemon=True)
+                   for wid in range(self.engine.num_workers)]
+        for t in threads:
+            t.start()
+        self.master.wait_for_termination(timeout=self.timeout)
+        for wid in range(self.engine.num_workers):
+            self._events[wid].set()  # release any sleeper
+        for t in threads:
+            t.join(timeout=5.0)
+        if self._error is not None:
+            raise self._error
+        makespan = time.monotonic() - self._start_time
+        answer = self.engine.assemble()
+        metrics = self._metrics(makespan)
+        return RunResult(answer=answer, mode=f"{self.policy.name}-threaded",
+                         metrics=metrics,
+                         rounds=[w.rounds for w in self.workers])
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self, wid: int) -> None:
+        w = self.workers[wid]
+        try:
+            self._run_round(wid, peval=True)
+            while not self.master.terminated:
+                # the inactive flag must be set atomically with the
+                # emptiness check, or a racing delivery could be lost and
+                # the master would terminate with an undrained buffer
+                with self._locks[wid]:
+                    empty = not w.buffer
+                    if empty:
+                        self.master.set_inactive(wid)
+                if empty:
+                    self._events[wid].wait(timeout=0.02)
+                    self._events[wid].clear()
+                    continue
+                ds = self.policy.delay(self._view(wid))
+                if ds > 0:
+                    wait = (min(ds * self.time_scale, self.max_wait)
+                            if not math.isinf(ds) else self.max_wait)
+                    w.status = WorkerStatus.WAITING
+                    self._events[wid].wait(timeout=wait)
+                    self._events[wid].clear()
+                    if math.isinf(ds):
+                        # re-evaluate after any state change
+                        continue
+                self._run_round(wid, peval=False)
+        except BaseException as exc:  # pragma: no cover - surfaced in run()
+            self._error = exc
+            self.master.set_inactive(wid)
+
+    def _run_round(self, wid: int, peval: bool) -> None:
+        w = self.workers[wid]
+        w.status = WorkerStatus.RUNNING
+        started = time.monotonic()
+        if peval:
+            out = self.engine.run_peval(wid)
+        else:
+            with self._locks[wid]:
+                batches = w.buffer.drain()
+            if not batches:
+                w.status = WorkerStatus.INACTIVE
+                return
+            out = self.engine.run_inceval(wid, batches, round_no=w.rounds)
+        w.rounds += 1
+        w.work_done += out.work
+        duration = time.monotonic() - started
+        w.busy_time += duration
+        w.round_time.observe_round(max(duration, 1e-9))
+        for msg in out.messages:
+            self._send(msg)
+        w.status = WorkerStatus.INACTIVE if not w.buffer \
+            else WorkerStatus.WAITING
+        w.idle_since = time.monotonic() - self._start_time
+        self.policy.on_round_complete(self._view(wid), max(duration, 1e-9))
+
+    def _send(self, msg) -> None:
+        self.master.message_sent()
+        src = self.workers[msg.src]
+        src.messages_sent += 1
+        src.bytes_sent += msg.size_bytes
+        dst = self.workers[msg.dst]
+        with self._locks[msg.dst]:
+            dst.buffer.push(msg)
+            now = time.monotonic() - self._start_time
+            dst.arrival_rate.observe_arrival(now)
+            dst.last_arrival = now
+        self.master.set_active(msg.dst)
+        self.master.message_delivered()
+        self._events[msg.dst].set()
+
+    # ------------------------------------------------------------------
+    def _view(self, wid: int) -> WorkerView:
+        w = self.workers[wid]
+        pending = [x.rounds for x in self.workers if x.pending]
+        rmin = min(pending) if pending else w.rounds
+        rmax = max(pending) if pending else w.rounds
+        rates = [x.arrival_rate.predict() for x in self.workers]
+        finite = [r for r in rates if r > 0 and not math.isinf(r)]
+        now = time.monotonic() - self._start_time
+        t_preds = [x.round_time.predict(default=1e-4) for x in self.workers]
+        return WorkerView(
+            wid=wid, round=w.rounds, eta=w.eta, rmin=rmin, rmax=rmax,
+            idle_time=w.idle_for(now), now=now,
+            t_pred=w.round_time.predict(default=1e-4),
+            s_pred=w.arrival_rate.predict(),
+            fleet_avg_rate=sum(finite) / len(finite) if finite else 0.0,
+            num_workers=len(self.workers),
+            num_peers=self._num_peers[wid],
+            fleet_avg_round_time=sum(t_preds) / len(t_preds))
+
+    def _metrics(self, makespan: float) -> RunMetrics:
+        per_worker = [WorkerMetrics(
+            wid=w.wid, rounds=w.rounds, busy_time=w.busy_time,
+            messages_sent=w.messages_sent,
+            messages_received=w.buffer.total_received,
+            bytes_sent=w.bytes_sent, bytes_received=w.buffer.total_bytes,
+            work_done=w.work_done) for w in self.workers]
+        return RunMetrics.from_workers(per_worker, makespan=makespan)

@@ -1,0 +1,91 @@
+"""Execution traces and ASCII timing diagrams (the paper's Fig. 1 / Fig. 7).
+
+The simulator records one :class:`Interval` per round; :func:`ascii_gantt`
+renders the per-worker timelines so runs under BSP/AP/SSP/AAP can be compared
+visually, exactly like the paper's timing-diagram figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One contiguous activity of one worker."""
+
+    wid: int
+    start: float
+    end: float
+    kind: str  # "peval" | "inceval" | "suspended"
+    round: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects intervals during a run."""
+
+    __slots__ = ("intervals", "enabled")
+
+    def __init__(self, enabled: bool = True):
+        self.intervals: List[Interval] = []
+        self.enabled = enabled
+
+    def record(self, wid: int, start: float, end: float, kind: str,
+               round_no: int) -> None:
+        if self.enabled and end > start:
+            self.intervals.append(Interval(wid, start, end, kind, round_no))
+
+    def by_worker(self) -> Dict[int, List[Interval]]:
+        out: Dict[int, List[Interval]] = {}
+        for iv in self.intervals:
+            out.setdefault(iv.wid, []).append(iv)
+        for ivs in out.values():
+            ivs.sort(key=lambda iv: iv.start)
+        return out
+
+    def makespan(self) -> float:
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def busy_time(self, wid: int) -> float:
+        return sum(iv.duration for iv in self.intervals
+                   if iv.wid == wid and iv.kind in ("peval", "inceval"))
+
+    def rounds(self, wid: int) -> int:
+        return sum(1 for iv in self.intervals
+                   if iv.wid == wid and iv.kind in ("peval", "inceval"))
+
+
+_KIND_CHAR = {"peval": "P", "inceval": "#", "suspended": "."}
+
+
+def ascii_gantt(trace: TraceRecorder, width: int = 78,
+                makespan: Optional[float] = None,
+                label: str = "") -> str:
+    """Render worker timelines as text.
+
+    ``#`` marks computation, ``.`` marks a delay-stretch suspension, spaces
+    mark idle/inactive periods.  One row per worker, time left to right.
+    """
+    span = makespan if makespan is not None else trace.makespan()
+    if span <= 0:
+        return f"{label} (empty trace)"
+    lines = []
+    if label:
+        lines.append(f"{label}  (0 .. {span:.2f} time units)")
+    per_worker = trace.by_worker()
+    for wid in sorted(per_worker):
+        row = [" "] * width
+        for iv in per_worker[wid]:
+            lo = int(iv.start / span * (width - 1))
+            hi = max(int(iv.end / span * (width - 1)), lo)
+            ch = _KIND_CHAR.get(iv.kind, "?")
+            for i in range(lo, min(hi + 1, width)):
+                if row[i] == " " or ch == "#" or ch == "P":
+                    row[i] = ch
+        lines.append(f"P{wid:<3d}|{''.join(row)}|")
+    return "\n".join(lines)

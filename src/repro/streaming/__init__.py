@@ -1,0 +1,6 @@
+"""Streaming updates on top of incremental IncEval (paper's future work)."""
+
+from repro.streaming.session import StreamingSession
+from repro.streaming.updates import UpdateBatch
+
+__all__ = ["StreamingSession", "UpdateBatch"]

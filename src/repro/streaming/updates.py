@@ -1,0 +1,58 @@
+"""Streaming graph updates.
+
+The paper's conclusion names *"handling streaming updates by capitalizing
+on the capability of incremental IncEval"* as future work; this package
+implements it for the monotone programs.  An update batch is a set of edge
+insertions (plus implicit node additions).  Insertions keep CC and SSSP
+monotone — cids and distances can only decrease — so Theorem 2 still
+applies to the continuation runs.
+
+Deletions would break monotonicity (a removed edge can *increase*
+distances), which is why :class:`UpdateBatch` rejects them; handling
+deletions needs the paper's bounded-incremental machinery with resets and
+is out of scope here (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Iterable, List, Tuple
+
+from repro.errors import ProgramError
+
+Node = Hashable
+EdgeInsertion = Tuple[Node, Node, float]
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """A batch of edge insertions ``(u, v, weight)``."""
+
+    insertions: Tuple[EdgeInsertion, ...]
+
+    def __post_init__(self):
+        if not self.insertions:
+            raise ProgramError("an update batch must contain insertions")
+
+    @classmethod
+    def of(cls, *edges: Iterable) -> "UpdateBatch":
+        normalised: List[EdgeInsertion] = []
+        for e in edges:
+            if len(e) == 2:
+                normalised.append((e[0], e[1], 1.0))
+            elif len(e) == 3:
+                normalised.append((e[0], e[1], float(e[2])))
+            else:
+                raise ProgramError(f"bad edge insertion: {e!r}")
+        return cls(insertions=tuple(normalised))
+
+    @property
+    def touched_nodes(self) -> FrozenSet[Node]:
+        out = set()
+        for u, v, _ in self.insertions:
+            out.add(u)
+            out.add(v)
+        return frozenset(out)
+
+    def __len__(self) -> int:
+        return len(self.insertions)

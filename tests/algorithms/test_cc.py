@@ -1,0 +1,96 @@
+"""Tests for the CC PIE program (the paper's running example)."""
+
+import pytest
+
+from repro import api
+from repro.algorithms import CCProgram, CCQuery, components_from_answer
+from repro.core.modes import MODES
+from repro.graph import analysis, generators
+from repro.graph.graph import Graph
+from repro.partition.vertex_cut import HashEdgePartitioner
+
+
+@pytest.mark.parametrize("mode", MODES)
+class TestAllModes:
+    def test_powerlaw(self, small_powerlaw, mode):
+        r = api.run(CCProgram(), small_powerlaw, CCQuery(),
+                    num_fragments=4, mode=mode)
+        assert r.answer == analysis.connected_components(small_powerlaw)
+
+    def test_many_components(self, mode):
+        g = Graph(directed=False)
+        for k in range(12):
+            g.add_edge(10 * k, 10 * k + 1)
+            g.add_edge(10 * k + 1, 10 * k + 2)
+        r = api.run(CCProgram(), g, CCQuery(), num_fragments=5, mode=mode)
+        comps = components_from_answer(r.answer)
+        assert len(comps) == 12
+
+
+class TestTopologies:
+    def test_single_component_grid(self, small_grid):
+        r = api.run(CCProgram(), small_grid, CCQuery(), num_fragments=6)
+        assert len(components_from_answer(r.answer)) == 1
+        assert set(r.answer.values()) == {0}
+
+    def test_directed_weak_components(self):
+        g = generators.rmat(7, edge_factor=2, seed=9)
+        r = api.run(CCProgram(), g, CCQuery(), num_fragments=4)
+        assert r.answer == analysis.connected_components(g)
+
+    def test_isolated_nodes(self):
+        g = Graph(directed=False)
+        g.add_edge(5, 6)
+        g.add_node(1)
+        g.add_node(2)
+        r = api.run(CCProgram(), g, CCQuery(), num_fragments=2)
+        assert r.answer[1] == 1
+        assert r.answer[2] == 2
+        assert r.answer[5] == r.answer[6] == 5
+
+    def test_vertex_cut(self, small_powerlaw):
+        pg = HashEdgePartitioner().partition(small_powerlaw, 4)
+        r = api.run(CCProgram(), pg, CCQuery())
+        assert r.answer == analysis.connected_components(small_powerlaw)
+
+    def test_fig1_graph(self):
+        """Example 4: the chained-components graph converges to cid 0."""
+        from repro.bench.workloads import fig1_graph, fig1_partition
+        pg = fig1_partition()
+        r = api.run(CCProgram(), pg, CCQuery())
+        g = fig1_graph()
+        assert set(r.answer.values()) == {0}
+        assert set(r.answer) == set(g.nodes)
+
+
+class TestComponentsFromAnswer:
+    def test_grouping(self):
+        answer = {1: 1, 2: 1, 7: 7, 8: 7}
+        assert components_from_answer(answer) == [{1, 2}, {7, 8}]
+
+
+class TestIncrementalMerging:
+    def test_root_linking_propagates_in_one_step(self):
+        """Fig. 3: a changed border cid reaches all linked candidates via
+        the component root, in one IncEval invocation."""
+        from repro.core.engine import Engine
+        from repro.partition.edge_cut import RangePartitioner
+        g = Graph(directed=False)
+        # fragment-0 chain a-b-c, fragment-1 chain x-y-z, cut edge c-x
+        for u, v in (("a", "b"), ("b", "c"), ("x", "y"), ("y", "z")):
+            g.add_edge(u, v)
+        g.add_edge("c", "x")
+        pg = RangePartitioner().partition(g, 2)
+        engine = Engine(CCProgram(), pg, CCQuery())
+        outs = [engine.run_peval(w) for w in (0, 1)]
+        fx = pg.fragment_of("x").fid
+        batch = [m for out in outs for m in out.messages if m.dst == fx]
+        engine.run_inceval(fx, batch, round_no=1)
+        ctx = engine.contexts[fx]
+        # the component root adopted the global minimum "a" (interior
+        # values are resolved through the root at Assemble time)
+        for v in ("x", "y", "z"):
+            root = ctx.scratch["root_of"][v]
+            assert ctx.scratch["comp_cid"][root] == "a"
+        # border members were updated eagerly for shipping
+        assert ctx.values["x"] == "a"

@@ -1,0 +1,84 @@
+"""Tests for the collaborative-filtering PIE program."""
+
+import pytest
+
+from repro import api
+from repro.algorithms import CFProgram, CFQuery
+from repro.graph import generators
+
+
+@pytest.fixture(scope="module")
+def ratings():
+    return generators.bipartite_ratings(60, 20, 8, rank=3, noise=0.02,
+                                        seed=11)
+
+
+def run_cf(graph, mode="AAP", epochs=8, m=4, **kwargs):
+    return api.run(CFProgram(rank=3), graph,
+                   CFQuery(rank=3, epochs=epochs, learning_rate=0.05,
+                           seed=1),
+                   num_fragments=m, mode=mode, **kwargs)
+
+
+class TestTraining:
+    def test_rmse_below_untrained(self, ratings):
+        g, _, _ = ratings
+        trained = run_cf(g, epochs=8)
+        untrained = run_cf(g, epochs=1)
+        assert trained.answer["rmse"] < untrained.answer["rmse"]
+
+    def test_rmse_reasonable(self, ratings):
+        g, _, _ = ratings
+        r = run_cf(g, epochs=10)
+        assert r.answer["rmse"] < 0.35
+
+    def test_all_factors_present(self, ratings):
+        g, _, _ = ratings
+        r = run_cf(g, epochs=2)
+        users = {v for v in g.nodes if v[0] == "u"}
+        items = {v for v in g.nodes if v[0] == "p"}
+        assert set(r.answer["user_factors"]) == users
+        assert set(r.answer["item_factors"]) == items
+        assert r.answer["ratings"] == g.num_edges
+
+    def test_loss_includes_regularization(self, ratings):
+        g, _, _ = ratings
+        r = run_cf(g, epochs=4)
+        assert r.answer["loss"] > r.answer["rmse"] ** 2 * r.answer["ratings"]
+
+
+@pytest.mark.parametrize("mode", ["BSP", "SSP", "AAP"])
+class TestModes:
+    def test_trains_under_mode(self, ratings, mode):
+        g, _, _ = ratings
+        r = run_cf(g, mode=mode, epochs=6)
+        assert r.answer["rmse"] < 0.5
+        # epochs bound the number of SGD rounds per worker
+        assert max(r.rounds) >= 2
+
+
+class TestBoundedStaleness:
+    def test_default_bound_applied(self, ratings):
+        g, _, _ = ratings
+        # CF declares needs_bounded_staleness; api.run must honour it:
+        # under AAP the fastest worker cannot run away unboundedly
+        r = run_cf(g, mode="AAP", epochs=6)
+        assert max(r.rounds) - min(r.rounds) <= 6 + CFProgram().default_staleness_bound
+
+    def test_explicit_bound(self, ratings):
+        g, _, _ = ratings
+        r = run_cf(g, mode="SSP", epochs=6, staleness_bound=1)
+        assert r.answer["rmse"] < 0.5
+
+    def test_robust_to_bound_choice(self, ratings):
+        """Appendix B: AAP's quality is insensitive to c."""
+        g, _, _ = ratings
+        rmses = [run_cf(g, mode="AAP", epochs=6,
+                        staleness_bound=c).answer["rmse"]
+                 for c in (1, 4, 16)]
+        assert max(rmses) - min(rmses) < 0.15
+
+
+class TestValueSize:
+    def test_vector_messages_larger(self):
+        assert CFProgram(rank=8).value_size_bytes(None) == 64

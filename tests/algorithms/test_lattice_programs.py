@@ -1,0 +1,97 @@
+"""Tests for the extra lattice PIE programs (reachability, widest paths)."""
+
+import math
+
+import pytest
+
+from repro import api
+from repro.algorithms import (ReachabilityProgram, ReachQuery,
+                              WidestPathProgram, WidestPathQuery,
+                              reference_widest_paths)
+from repro.core.convergence import verify_conditions
+from repro.core.modes import MODES
+from repro.graph import analysis, generators
+from repro.graph.graph import Graph
+from repro.partition.edge_cut import HashPartitioner
+from repro.partition.vertex_cut import GreedyVertexCutPartitioner
+
+
+class TestReachability:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_matches_bfs(self, small_grid, mode):
+        r = api.run(ReachabilityProgram(), small_grid, ReachQuery(source=0),
+                    num_fragments=4, mode=mode)
+        assert r.answer == set(analysis.bfs_levels(small_grid, 0))
+
+    def test_directed_respects_direction(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(2, 0)
+        r = api.run(ReachabilityProgram(), g, ReachQuery(source=0),
+                    num_fragments=2)
+        assert r.answer == {0, 1}
+
+    def test_disconnected(self):
+        g = generators.path_graph(6)
+        g.add_edge(100, 101)
+        r = api.run(ReachabilityProgram(), g, ReachQuery(source=0),
+                    num_fragments=3)
+        assert 100 not in r.answer
+        assert r.answer == set(range(6))
+
+    def test_vertex_cut(self, small_powerlaw):
+        pg = GreedyVertexCutPartitioner(seed=1).partition(small_powerlaw, 4)
+        r = api.run(ReachabilityProgram(), pg, ReachQuery(source=0))
+        assert r.answer == set(analysis.bfs_levels(small_powerlaw, 0))
+
+    def test_conditions_hold(self, small_powerlaw):
+        pg = HashPartitioner().partition(small_powerlaw, 4)
+        report = verify_conditions(ReachabilityProgram(), pg,
+                                   ReachQuery(source=0), runs=3)
+        assert report.ok
+
+
+class TestWidestPath:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_matches_reference(self, weighted_powerlaw, mode):
+        r = api.run(WidestPathProgram(), weighted_powerlaw,
+                    WidestPathQuery(source=0), num_fragments=4, mode=mode)
+        ref = reference_widest_paths(weighted_powerlaw, 0)
+        for v in ref:
+            assert r.answer[v] == pytest.approx(ref[v]), f"node {v}"
+
+    def test_source_infinite_width(self, weighted_powerlaw):
+        r = api.run(WidestPathProgram(), weighted_powerlaw,
+                    WidestPathQuery(source=0), num_fragments=3)
+        assert r.answer[0] == math.inf
+
+    def test_bottleneck_semantics(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1, 10.0)
+        g.add_edge(1, 2, 3.0)   # bottleneck on the top route
+        g.add_edge(0, 3, 5.0)
+        g.add_edge(3, 2, 5.0)   # wider bottom route
+        r = api.run(WidestPathProgram(), g, WidestPathQuery(source=0),
+                    num_fragments=2)
+        assert r.answer[2] == 5.0
+
+    def test_unreachable_zero(self):
+        g = generators.path_graph(4, weighted=True, seed=1)
+        g.add_node(99)
+        r = api.run(WidestPathProgram(), g, WidestPathQuery(source=0),
+                    num_fragments=2)
+        assert r.answer[99] == 0.0
+
+    def test_conditions_hold(self, weighted_powerlaw):
+        pg = HashPartitioner().partition(weighted_powerlaw, 4)
+        report = verify_conditions(WidestPathProgram(), pg,
+                                   WidestPathQuery(source=0), runs=3)
+        assert report.ok
+
+    def test_vertex_cut(self, weighted_powerlaw):
+        pg = GreedyVertexCutPartitioner(seed=2).partition(
+            weighted_powerlaw, 3)
+        r = api.run(WidestPathProgram(), pg, WidestPathQuery(source=0))
+        ref = reference_widest_paths(weighted_powerlaw, 0)
+        for v in ref:
+            assert r.answer[v] == pytest.approx(ref[v])

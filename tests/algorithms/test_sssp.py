@@ -1,0 +1,93 @@
+"""Tests for the SSSP PIE program."""
+
+import math
+
+import pytest
+
+from repro import api
+from repro.algorithms import SSSPProgram, SSSPQuery
+from repro.core.modes import MODES
+from repro.graph import analysis, generators
+from repro.graph.graph import Graph
+from repro.partition.edge_cut import BfsPartitioner, HashPartitioner
+from repro.partition.vertex_cut import GreedyVertexCutPartitioner
+
+
+def assert_matches_dijkstra(graph, answer, source):
+    ref = analysis.dijkstra(graph, source)
+    assert set(answer) == set(ref)
+    for v in ref:
+        assert answer[v] == pytest.approx(ref[v]), f"node {v}"
+
+
+@pytest.mark.parametrize("mode", MODES)
+class TestAllModes:
+    def test_grid(self, small_grid, mode):
+        r = api.run(SSSPProgram(), small_grid, SSSPQuery(source=0),
+                    num_fragments=4, mode=mode)
+        assert_matches_dijkstra(small_grid, r.answer, 0)
+
+    def test_powerlaw_weighted(self, weighted_powerlaw, mode):
+        r = api.run(SSSPProgram(), weighted_powerlaw, SSSPQuery(source=0),
+                    num_fragments=5, mode=mode)
+        assert_matches_dijkstra(weighted_powerlaw, r.answer, 0)
+
+
+class TestTopologies:
+    def test_directed_graph(self):
+        g = generators.rmat(7, edge_factor=4, weighted=True, seed=2)
+        r = api.run(SSSPProgram(), g, SSSPQuery(source=0), num_fragments=4)
+        assert_matches_dijkstra(g, r.answer, 0)
+
+    def test_disconnected_nodes_inf(self):
+        g = Graph(directed=False)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(2, 3, 1.0)
+        r = api.run(SSSPProgram(), g, SSSPQuery(source=0), num_fragments=2)
+        assert r.answer[1] == 2.0
+        assert r.answer[2] == math.inf
+
+    def test_source_not_in_graph(self, small_grid):
+        r = api.run(SSSPProgram(), small_grid, SSSPQuery(source="ghost"),
+                    num_fragments=3)
+        assert all(d == math.inf for d in r.answer.values())
+
+    def test_path_across_many_fragments(self):
+        g = generators.path_graph(64, weighted=True, seed=4)
+        from repro.partition.edge_cut import RangePartitioner
+        pg = RangePartitioner().partition(g, 8)
+        r = api.run(SSSPProgram(), pg, SSSPQuery(source=0))
+        assert_matches_dijkstra(g, r.answer, 0)
+
+    def test_vertex_cut_partition(self, weighted_powerlaw):
+        pg = GreedyVertexCutPartitioner(seed=1).partition(
+            weighted_powerlaw, 4)
+        r = api.run(SSSPProgram(), pg, SSSPQuery(source=0))
+        assert_matches_dijkstra(weighted_powerlaw, r.answer, 0)
+
+    def test_locality_partition(self, small_grid):
+        pg = BfsPartitioner(seed=0).partition(small_grid, 4)
+        r = api.run(SSSPProgram(), pg, SSSPQuery(source=0))
+        assert_matches_dijkstra(small_grid, r.answer, 0)
+
+
+class TestIncrementality:
+    def test_inceval_work_bounded_by_change(self, small_grid):
+        """A stale re-delivery triggers no work (bounded IncEval)."""
+        from repro.core.engine import Engine
+        pg = HashPartitioner().partition(small_grid, 2)
+        engine = Engine(SSSPProgram(), pg, SSSPQuery(source=0))
+        src = pg.fragment_of(0).fid
+        other = 1 - src
+        out_src = engine.run_peval(src)
+        engine.run_peval(other)
+        batch = [m for m in out_src.messages if m.dst == other]
+        first = engine.run_inceval(other, batch, round_no=1)
+        again = engine.run_inceval(other, batch, round_no=2)
+        assert first.work > 0
+        assert again.activated == 0
+
+    def test_work_accounted(self, small_grid):
+        r = api.run(SSSPProgram(), small_grid, SSSPQuery(source=0),
+                    num_fragments=4)
+        assert r.metrics.total_work > small_grid.num_edges

@@ -1,0 +1,69 @@
+"""Tests for the Petuum-style parameter server baseline."""
+
+import pytest
+
+from repro.baselines.parameter_server import ParameterServerCF
+from repro.errors import RuntimeConfigError
+from repro.graph import generators
+
+
+@pytest.fixture(scope="module")
+def ratings():
+    g, _, _ = generators.bipartite_ratings(100, 30, 10, rank=3, noise=0.02,
+                                           seed=17)
+    return g
+
+
+class TestLearning:
+    def test_rmse_improves_with_epochs(self, ratings):
+        short = ParameterServerCF(ratings, 4, rank=3, epochs=1,
+                                  learning_rate=0.05, seed=1).run()
+        long = ParameterServerCF(ratings, 4, rank=3, epochs=10,
+                                 learning_rate=0.05, seed=1).run()
+        assert long.rmse < short.rmse
+
+    def test_reasonable_fit(self, ratings):
+        result = ParameterServerCF(ratings, 4, rank=3, epochs=12,
+                                   learning_rate=0.05, seed=1).run()
+        assert result.rmse < 0.35
+
+    def test_deterministic(self, ratings):
+        a = ParameterServerCF(ratings, 3, epochs=4, seed=2).run()
+        b = ParameterServerCF(ratings, 3, epochs=4, seed=2).run()
+        assert a.rmse == b.rmse
+        assert a.time == b.time
+
+
+class TestSSPProtocol:
+    def test_tighter_staleness_stalls_more(self, ratings):
+        def stalls(c):
+            return ParameterServerCF(ratings, 4, epochs=8, staleness=c,
+                                     speed={0: 4.0}, seed=1).run().stall_time
+
+        assert stalls(0) > stalls(2) > stalls(8)
+
+    def test_loose_staleness_no_stalls(self, ratings):
+        r = ParameterServerCF(ratings, 4, epochs=4, staleness=10,
+                              speed={0: 4.0}, seed=1).run()
+        assert r.stall_time == 0.0
+
+    def test_straggler_dominates_makespan(self, ratings):
+        slow = ParameterServerCF(ratings, 4, epochs=4, speed={0: 4.0},
+                                 seed=1).run()
+        fast = ParameterServerCF(ratings, 4, epochs=4, seed=1).run()
+        assert slow.time > fast.time
+
+
+class TestAccounting:
+    def test_pulls_every_clock(self, ratings):
+        r = ParameterServerCF(ratings, 4, epochs=5, seed=1).run()
+        assert r.pulls == r.pushes
+        assert r.pulls > 0
+        assert r.comm_bytes == (r.pulls + r.pushes) * 8 * 4
+        assert r.clocks == 5
+
+    def test_invalid_config(self, ratings):
+        with pytest.raises(RuntimeConfigError):
+            ParameterServerCF(ratings, 0)
+        with pytest.raises(RuntimeConfigError):
+            ParameterServerCF(ratings, 2, staleness=-1)

@@ -1,0 +1,48 @@
+"""Tests for the Table-1 system profiles."""
+
+import pytest
+
+from repro.baselines.profiles import PROFILES, run_baseline
+from repro.errors import RuntimeConfigError
+from repro.graph import analysis
+
+
+class TestProfiles:
+    def test_expected_systems_present(self):
+        assert {"Giraph", "GraphLab-sync", "GraphLab-async", "GiraphUC",
+                "Maiter", "PowerSwitch"} == set(PROFILES)
+
+    @pytest.mark.parametrize("system", sorted(PROFILES))
+    def test_all_systems_correct_sssp(self, system, small_grid):
+        r = run_baseline(system, "sssp", small_grid, 4, source=0)
+        ref = analysis.dijkstra(small_grid, 0)
+        assert all(r.answer[v] == pytest.approx(ref[v]) for v in ref)
+
+    def test_giraph_slowest_sync_system(self, small_powerlaw):
+        times = {s: run_baseline(s, "pagerank", small_powerlaw, 4,
+                                 pagerank_iterations=5).time
+                 for s in ("Giraph", "GraphLab-sync", "PowerSwitch")}
+        assert times["Giraph"] > times["GraphLab-sync"]
+        assert times["Giraph"] > times["PowerSwitch"]
+
+    def test_graphlab_async_slower_than_sync_pagerank(self, small_powerlaw):
+        """The paper measures async GraphLab slower than sync for PageRank."""
+        sync = run_baseline("GraphLab-sync", "pagerank", small_powerlaw, 4,
+                            pagerank_iterations=5)
+        async_ = run_baseline("GraphLab-async", "pagerank", small_powerlaw,
+                              4, pagerank_iterations=5)
+        assert async_.time > sync.time
+
+    def test_unknown_system(self, small_grid):
+        with pytest.raises(RuntimeConfigError):
+            run_baseline("SparkleDB", "sssp", small_grid, 2, source=0)
+
+    def test_unknown_algorithm(self, small_grid):
+        with pytest.raises(RuntimeConfigError):
+            run_baseline("Giraph", "bfs", small_grid, 2)
+
+    def test_straggler_passthrough(self, small_powerlaw):
+        slow = run_baseline("Giraph", "cc", small_powerlaw, 4,
+                            speed={0: 10.0})
+        fast = run_baseline("Giraph", "cc", small_powerlaw, 4)
+        assert slow.time > fast.time

@@ -1,0 +1,87 @@
+"""Tests for the vertex-centric baseline engine."""
+
+import math
+
+import pytest
+
+from repro.baselines.vertex_centric import (BellmanFordSSSP, HashMinCC,
+                                            IterativePageRank,
+                                            SuperstepVertexEngine)
+from repro.errors import RuntimeConfigError
+from repro.graph import analysis, generators
+
+
+class TestBellmanFord:
+    def test_matches_dijkstra(self, small_grid):
+        engine = SuperstepVertexEngine(small_grid, 4)
+        result = engine.run(BellmanFordSSSP(0))
+        ref = analysis.dijkstra(small_grid, 0)
+        assert all(result.answer[v] == pytest.approx(ref[v]) for v in ref)
+
+    def test_unreachable_inf(self):
+        g = generators.path_graph(4)
+        g.add_node(99)
+        result = SuperstepVertexEngine(g, 2).run(BellmanFordSSSP(0))
+        assert result.answer[99] == math.inf
+
+    def test_supersteps_track_depth(self):
+        g = generators.path_graph(20, weighted=False)
+        result = SuperstepVertexEngine(g, 2).run(BellmanFordSSSP(0))
+        assert result.supersteps >= 20
+
+
+class TestHashMin:
+    def test_matches_reference(self, small_powerlaw):
+        result = SuperstepVertexEngine(small_powerlaw, 4).run(HashMinCC())
+        assert result.answer == analysis.connected_components(small_powerlaw)
+
+    def test_directed_weak_components(self):
+        g = generators.rmat(6, edge_factor=2, seed=4)
+        result = SuperstepVertexEngine(g, 4).run(HashMinCC())
+        assert result.answer == analysis.connected_components(g)
+
+
+class TestIterativePageRank:
+    def test_close_to_reference(self, small_powerlaw):
+        result = SuperstepVertexEngine(small_powerlaw, 4).run(
+            IterativePageRank(iterations=60))
+        ref = analysis.pagerank(small_powerlaw, epsilon=1e-12)
+        for v in ref:
+            assert result.answer[v] == pytest.approx(ref[v], abs=1e-2)
+
+    def test_fixed_iterations(self, small_powerlaw):
+        result = SuperstepVertexEngine(small_powerlaw, 4).run(
+            IterativePageRank(iterations=5))
+        assert result.supersteps == 6  # 5 sending steps + tail delivery
+
+
+class TestCostAccounting:
+    def test_straggler_slows_sync(self, small_powerlaw):
+        fast = SuperstepVertexEngine(small_powerlaw, 4).run(HashMinCC())
+        slow = SuperstepVertexEngine(small_powerlaw, 4,
+                                     speed={0: 8.0}).run(HashMinCC())
+        assert slow.time > fast.time
+        assert slow.answer == fast.answer
+
+    def test_async_mode_skips_barriers(self, small_powerlaw):
+        sync = SuperstepVertexEngine(small_powerlaw, 4, barrier_cost=10.0)
+        async_e = SuperstepVertexEngine(small_powerlaw, 4,
+                                        barrier_cost=10.0, async_mode=True)
+        assert async_e.run(HashMinCC()).time < sync.run(HashMinCC()).time
+
+    def test_uncombined_messages_cost_more(self, small_powerlaw):
+        combined = SuperstepVertexEngine(small_powerlaw, 4).run(
+            IterativePageRank(iterations=3))
+        uncombined = SuperstepVertexEngine(
+            small_powerlaw, 4, use_combiner=False).run(
+            IterativePageRank(iterations=3))
+        assert uncombined.answer == pytest.approx(combined.answer)
+
+    def test_cross_messages_subset_of_total(self, small_powerlaw):
+        r = SuperstepVertexEngine(small_powerlaw, 4).run(HashMinCC())
+        assert 0 < r.cross_messages <= r.total_messages
+        assert r.comm_bytes == r.cross_messages * 16
+
+    def test_invalid_workers(self, small_grid):
+        with pytest.raises(RuntimeConfigError):
+            SuperstepVertexEngine(small_grid, 0)

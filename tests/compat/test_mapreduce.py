@@ -1,0 +1,96 @@
+"""Tests for the MapReduce-on-PIE simulation — Theorem 4."""
+
+import pytest
+
+from repro.compat.mapreduce import (LocalMapReduce, MapReduceJob,
+                                    MapReduceOnPIE, Subroutine,
+                                    identity_mapper, identity_reducer,
+                                    make_worker_graph, run_mapreduce)
+from repro.errors import ProgramError
+
+
+def wc_map(key, line):
+    for word in line.split():
+        yield word, 1
+
+
+def wc_reduce(key, values):
+    yield key, sum(values)
+
+
+def swap_map(key, value):
+    yield value, key
+
+
+def max_reduce(key, values):
+    yield key, max(values)
+
+
+DOCS = [(i, text) for i, text in enumerate(
+    ["the quick brown fox", "the lazy dog", "the fox", "dog dog dog"])]
+
+
+class TestLocalReference:
+    def test_wordcount(self):
+        job = MapReduceJob((Subroutine(wc_map, wc_reduce),))
+        out = dict(LocalMapReduce(job).run(DOCS))
+        assert out["the"] == 3
+        assert out["dog"] == 4
+        assert out["fox"] == 2
+
+    def test_identity_job(self):
+        job = MapReduceJob((Subroutine(identity_mapper, identity_reducer),))
+        out = LocalMapReduce(job).run([("a", 1), ("b", 2)])
+        assert sorted(out) == [("a", 1), ("b", 2)]
+
+    def test_empty_job_rejected(self):
+        with pytest.raises(ProgramError):
+            MapReduceJob(())
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("n", [1, 2, 4, 7])
+    def test_wordcount_matches_local(self, n):
+        job = MapReduceJob((Subroutine(wc_map, wc_reduce),))
+        local = LocalMapReduce(job).run(DOCS)
+        simulated = run_mapreduce(job, DOCS, n=n)
+        assert sorted(local) == sorted(simulated)
+
+    def test_two_stage_pipeline(self):
+        job = MapReduceJob((Subroutine(wc_map, wc_reduce),
+                            Subroutine(swap_map, max_reduce)))
+        local = LocalMapReduce(job).run(DOCS)
+        simulated = run_mapreduce(job, DOCS, n=3)
+        assert sorted(local) == sorted(simulated)
+
+    def test_three_stages(self):
+        job = MapReduceJob((
+            Subroutine(wc_map, wc_reduce),
+            Subroutine(identity_mapper, identity_reducer),
+            Subroutine(swap_map, max_reduce)))
+        local = LocalMapReduce(job).run(DOCS)
+        simulated = run_mapreduce(job, DOCS, n=4)
+        assert sorted(local) == sorted(simulated)
+
+    def test_empty_input(self):
+        job = MapReduceJob((Subroutine(wc_map, wc_reduce),))
+        assert run_mapreduce(job, [], n=3) == []
+
+    def test_skewed_keys_single_reducer(self):
+        # all map outputs share one key: one worker reduces everything
+        job = MapReduceJob((Subroutine(lambda k, v: [("all", v)],
+                                       lambda k, vals: [(k, sum(vals))]),))
+        out = run_mapreduce(job, [(i, i) for i in range(20)], n=4)
+        assert out == [("all", sum(range(20)))]
+
+
+class TestWorkerGraph:
+    def test_clique_structure(self):
+        pg = make_worker_graph(4)
+        assert pg.num_fragments == 4
+        for frag in pg:
+            assert len(frag.owned) == 1
+            # every worker node sees all others (clique)
+            assert len(frag.mirrors) == 3
+            assert frag.peer_fragments() == frozenset(
+                set(range(4)) - {frag.fid})

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro import api
+from repro.graph import generators
+
+
+@pytest.fixture
+def small_grid():
+    """10x10 weighted grid (traffic-like), deterministic."""
+    return generators.grid2d(10, 10, weighted=True, seed=1)
+
+
+@pytest.fixture
+def small_powerlaw():
+    """300-node power-law graph (social-like), deterministic."""
+    return generators.powerlaw(300, m=2, seed=3)
+
+
+@pytest.fixture
+def weighted_powerlaw():
+    return generators.powerlaw(200, m=2, weighted=True, seed=5)
+
+
+@pytest.fixture
+def partitioned_grid(small_grid):
+    return api.partition_graph(small_grid, 4)
+
+
+@pytest.fixture
+def partitioned_powerlaw(small_powerlaw):
+    return api.partition_graph(small_powerlaw, 4)

@@ -1,0 +1,71 @@
+"""Tests for the aggregate functions f_aggr."""
+
+import pytest
+
+from repro.core.aggregators import LatestByVersion, Max, Min, Sum
+from repro.errors import ProgramError
+
+
+class TestMin:
+    def test_combine(self):
+        assert Min().combine(5, [7, 3, 9]) == 3
+
+    def test_keeps_current_when_better(self):
+        assert Min().combine(1, [2, 3]) == 1
+
+    def test_empty_incoming(self):
+        assert Min().combine(4, []) == 4
+
+    def test_order(self):
+        m = Min()
+        assert m.leq(1, 2)
+        assert m.leq(2, 2)
+        assert not m.leq(3, 2)
+
+    def test_no_identity(self):
+        with pytest.raises(ProgramError):
+            Min().identity()
+
+    def test_not_accumulative(self):
+        assert not Min().accumulative
+
+
+class TestMax:
+    def test_combine(self):
+        assert Max().combine(5, [7, 3, 9]) == 9
+
+    def test_order(self):
+        m = Max()
+        assert m.leq(3, 2)
+        assert not m.leq(1, 2)
+
+
+class TestSum:
+    def test_combine(self):
+        assert Sum().combine(1.0, [2.0, 3.0]) == 6.0
+
+    def test_identity(self):
+        assert Sum().identity() == 0.0
+
+    def test_custom_zero(self):
+        assert Sum(zero=10).identity() == 10
+
+    def test_accumulative_flag(self):
+        assert Sum().accumulative
+
+
+class TestLatestByVersion:
+    def test_higher_version_wins(self):
+        agg = LatestByVersion()
+        assert agg.combine((1, "a"), [(3, "b"), (2, "c")]) == (3, "b")
+
+    def test_tie_broken_deterministically(self):
+        agg = LatestByVersion()
+        r1 = agg.combine((1, "a"), [(1, "z"), (1, "m")])
+        r2 = agg.combine((1, "m"), [(1, "a"), (1, "z")])
+        assert r1 == r2 == (1, "z")
+
+    def test_order(self):
+        agg = LatestByVersion()
+        assert agg.leq((3, None), (2, None))
+        assert not agg.leq((1, None), (2, None))

@@ -1,0 +1,82 @@
+"""Tests for the bounded-incrementality checker."""
+
+import pytest
+
+from repro.algorithms import CCProgram, CCQuery, SSSPProgram, SSSPQuery
+from repro.core.boundedness import (BoundednessReport, Probe,
+                                    measure_incrementality)
+from repro.errors import ConvergenceError
+from repro.graph import generators
+from repro.partition.edge_cut import HashPartitioner
+
+
+@pytest.fixture
+def pg(small_grid):
+    return HashPartitioner().partition(small_grid, 3)
+
+
+class TestMeasurement:
+    def test_cc_stale_redelivery_costs_nothing(self, pg):
+        frag = pg.fragments[0]
+        node = next(iter(frag.owned))
+        # re-delivering the converged cid (or a larger one) is a no-op
+        report = measure_incrementality(
+            CCProgram(), pg, CCQuery(),
+            perturbations=[(node, 10_000)], wid=0)
+        probe = report.probes[0]
+        assert probe.output_change == 0
+        assert probe.work <= 1
+
+    def test_cc_small_change_small_work(self, pg):
+        """CC's IncEval is the paper's example of a *bounded* incremental
+        algorithm (Fig. 3): work tracks the affected border members, not
+        the fragment."""
+        frag = pg.fragments[0]
+        nodes = sorted(frag.owned)[:5]
+        report = measure_incrementality(
+            CCProgram(), pg, CCQuery(),
+            perturbations=[(v, -1) for v in nodes], wid=0)
+        assert report.looks_bounded(slack=8.0)
+        # the first perturbation updates the affected border members;
+        # later ones touch at most their own (stale) value, as the root
+        # already carries cid -1
+        assert report.probes[0].output_change > 0
+        assert report.probes[-1].output_change <= 1
+        assert report.probes[-1].work <= 3
+
+    def test_sssp_bounded(self, pg):
+        frag = pg.fragments[0]
+        node = next(iter(frag.owned))
+        report = measure_incrementality(
+            SSSPProgram(), pg, SSSPQuery(source=0),
+            perturbations=[(node, 0.001), (node, 0.0005)], wid=0)
+        assert report.looks_bounded(slack=10.0)
+        assert report.fragment_size > 0
+
+    def test_unknown_node_rejected(self, pg):
+        with pytest.raises(ConvergenceError):
+            measure_incrementality(CCProgram(), pg, CCQuery(),
+                                   perturbations=[("ghost", 1)], wid=0)
+
+
+class TestReport:
+    def test_empty_report_bounded(self):
+        assert BoundednessReport().looks_bounded()
+        assert BoundednessReport().max_work_per_change == 0.0
+
+    def test_unbounded_detected(self):
+        report = BoundednessReport(fragment_size=1000)
+        report.probes.append(Probe(wid=0, input_change=1, output_change=1,
+                                   work=900))
+        assert not report.looks_bounded(slack=8.0)
+
+    def test_zero_change_work(self):
+        report = BoundednessReport()
+        report.probes.append(Probe(wid=0, input_change=1, output_change=0,
+                                   work=55))
+        assert report.zero_change_work() == 55
+        assert not report.looks_bounded(slack=8.0)
+
+    def test_probe_change(self):
+        assert Probe(wid=0, input_change=1, output_change=4,
+                     work=10).change == 5

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.errors import ReproError
+
+
+class TestParseGraph:
+    def test_grid(self):
+        g = cli.parse_graph("grid:4x6")
+        assert g.num_nodes == 24
+
+    def test_grid_square_shorthand(self):
+        assert cli.parse_graph("grid:5").num_nodes == 25
+
+    def test_powerlaw(self):
+        assert cli.parse_graph("powerlaw:100").num_nodes == 100
+
+    def test_er_with_p(self):
+        g = cli.parse_graph("er:30:0.5", seed=1)
+        assert g.num_nodes == 30
+        assert g.num_edges > 50
+
+    def test_path(self):
+        assert cli.parse_graph("path:7").num_edges == 6
+
+    def test_file(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# directed: false\n1 2\n2 3\n")
+        g = cli.parse_graph(f"file:{p}")
+        assert g.num_edges == 2
+
+    def test_unknown(self):
+        with pytest.raises(ReproError):
+            cli.parse_graph("hypercube:4")
+
+
+class TestCommands:
+    def run_cli(self, capsys, *argv):
+        code = cli.main(list(argv))
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_run_cc(self, capsys):
+        code, out = self.run_cli(capsys, "run", "-a", "cc",
+                                 "--graph", "powerlaw:120", "-m", "3")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["components"] == 1
+        assert doc["mode"] == "AAP"
+
+    def test_run_sssp_with_source(self, capsys):
+        code, out = self.run_cli(capsys, "run", "-a", "sssp",
+                                 "--graph", "grid:6x6", "--source", "0",
+                                 "--mode", "BSP", "-m", "2")
+        assert code == 0
+        assert json.loads(out)["mode"] == "BSP"
+
+    def test_compare(self, capsys):
+        code, out = self.run_cli(capsys, "compare", "-a", "cc",
+                                 "--graph", "powerlaw:100", "-m", "3")
+        assert code == 0
+        doc = json.loads(out)
+        assert set(doc) == {"AAP", "BSP", "AP", "SSP", "Hsync"}
+
+    def test_verify_ok(self, capsys):
+        code, out = self.run_cli(capsys, "verify", "-a", "cc",
+                                 "--graph", "powerlaw:80", "-m", "3",
+                                 "--runs", "2")
+        assert code == 0
+        assert json.loads(out)["ok"] is True
+
+    def test_info(self, capsys):
+        code, out = self.run_cli(capsys, "info", "--graph", "grid:5x5",
+                                 "-m", "2")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["nodes"] == 25
+        assert "partition" in doc
+
+    def test_bench_modes_experiment(self, capsys):
+        code, out = self.run_cli(capsys, "bench", "-e", "cc",
+                                 "--graph", "powerlaw:100",
+                                 "--straggler", "2.0")
+        assert code == 0
+        assert "cc vs workers" in out
+
+    def test_error_exit_code(self, capsys):
+        code = cli.main(["run", "--graph", "bogus:1"])
+        assert code == 2

@@ -1,0 +1,78 @@
+"""Tests for the T1/T2/Church-Rosser condition checkers."""
+
+import pytest
+
+from repro.algorithms import (CCProgram, CCQuery, PageRankProgram,
+                              PageRankQuery, SSSPProgram, SSSPQuery)
+from repro.core.aggregators import Max
+from repro.core.convergence import (check_church_rosser, check_contracting,
+                                    random_schedule_run, verify_conditions)
+from repro.partition.edge_cut import HashPartitioner
+
+
+@pytest.fixture
+def pg(small_powerlaw):
+    return HashPartitioner().partition(small_powerlaw, 4)
+
+
+class TestContracting:
+    def test_cc_is_contracting(self, pg):
+        assert check_contracting(CCProgram(), pg, CCQuery()) == []
+
+    def test_sssp_is_contracting(self, pg):
+        assert check_contracting(SSSPProgram(), pg,
+                                 SSSPQuery(source=0)) == []
+
+    def test_accumulative_programs_skipped(self, pg):
+        assert check_contracting(PageRankProgram(), pg,
+                                 PageRankQuery()) == []
+
+    def test_detects_violation(self, pg):
+        class BrokenCC(CCProgram):
+            """Claims a max-order while computing min-cids: not contracting."""
+            aggregator = CCProgram.aggregator
+
+            def leq(self, a, b):
+                return a >= b  # wrong direction on purpose
+
+        violations = check_contracting(BrokenCC(), pg, CCQuery())
+        assert violations
+
+
+class TestChurchRosser:
+    def test_cc_confluent(self, pg):
+        assert check_church_rosser(CCProgram(), pg, CCQuery(), runs=4) == []
+
+    def test_sssp_confluent(self, pg):
+        assert check_church_rosser(SSSPProgram(), pg, SSSPQuery(source=0),
+                                   runs=4) == []
+
+    def test_custom_equality(self, pg):
+        def close(a, b):
+            return all(abs(a[k] - b[k]) < 1e-2 for k in a)
+
+        assert check_church_rosser(PageRankProgram(), pg,
+                                   PageRankQuery(epsilon=1e-4),
+                                   runs=3, equal=close) == []
+
+    def test_random_schedule_run_matches_reference(self, pg,
+                                                   small_powerlaw):
+        from repro.graph import analysis
+        answer = random_schedule_run(CCProgram(), pg, CCQuery(), seed=9)
+        assert answer == analysis.connected_components(small_powerlaw)
+
+
+class TestVerifyConditions:
+    def test_full_report_ok(self, pg):
+        report = verify_conditions(CCProgram(), pg, CCQuery(), runs=3)
+        assert report.ok
+        assert report.t1_finite_domain
+        assert report.t2_contracting
+        assert report.church_rosser
+        assert report.violations == []
+
+    def test_t1_reflects_declaration(self, pg):
+        report = verify_conditions(PageRankProgram(), pg,
+                                   PageRankQuery(epsilon=1e-3), runs=1,
+                                   equal=lambda a, b: True)
+        assert not report.t1_finite_domain

@@ -1,0 +1,24 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.GraphError, errors.PartitionError, errors.ProgramError,
+        errors.RuntimeConfigError, errors.TerminationError,
+        errors.ConvergenceError, errors.SnapshotError])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
+
+    def test_catchable_from_public_root(self):
+        from repro import ReproError
+        with pytest.raises(ReproError):
+            raise errors.GraphError("x")
+
+    def test_distinct_types(self):
+        assert not issubclass(errors.GraphError, errors.PartitionError)

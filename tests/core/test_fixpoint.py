@@ -1,0 +1,95 @@
+"""Tests for the scheduled fixpoint executor (equations (2)/(3))."""
+
+import pytest
+
+from repro.algorithms import CCProgram, CCQuery, SSSPProgram, SSSPQuery
+from repro.core.engine import Engine
+from repro.core.fixpoint import ScheduledExecutor, run_sequential_fixpoint
+from repro.errors import TerminationError
+from repro.graph import analysis, generators
+from repro.partition.edge_cut import HashPartitioner
+
+
+def make_engine(graph, program, query, m=4):
+    pg = HashPartitioner().partition(graph, m)
+    return Engine(program, pg, query)
+
+
+class TestLifecycle:
+    def test_step_before_start_rejected(self, small_grid):
+        ex = ScheduledExecutor(make_engine(small_grid, CCProgram(), CCQuery()))
+        with pytest.raises(TerminationError):
+            ex.step(0)
+
+    def test_double_start_rejected(self, small_grid):
+        ex = ScheduledExecutor(make_engine(small_grid, CCProgram(), CCQuery()))
+        ex.start()
+        with pytest.raises(TerminationError):
+            ex.start()
+
+    def test_step_with_empty_buffer_is_noop(self, small_grid):
+        ex = ScheduledExecutor(make_engine(small_grid, SSSPProgram(),
+                                           SSSPQuery(source=0)))
+        ex.start()
+        # drain everything, then stepping is a no-op
+        ex.drain()
+        assert ex.step(0) is False
+
+
+class TestFixpoint:
+    def test_drain_reaches_reference(self, small_grid):
+        engine = make_engine(small_grid, SSSPProgram(), SSSPQuery(source=0))
+        answer = run_sequential_fixpoint(engine)
+        ref = analysis.dijkstra(small_grid, 0)
+        assert all(answer[v] == pytest.approx(ref[v]) for v in ref)
+
+    def test_quiescent_after_drain(self, small_powerlaw):
+        engine = make_engine(small_powerlaw, CCProgram(), CCQuery())
+        ex = ScheduledExecutor(engine)
+        ex.start()
+        ex.drain()
+        assert ex.quiescent
+
+    def test_run_schedule_partial_then_drain(self, small_powerlaw):
+        engine = make_engine(small_powerlaw, CCProgram(), CCQuery())
+        ex = ScheduledExecutor(engine)
+        answer = ex.run_schedule([0, 1, 0, 2, 3, 1], then_drain=True)
+        assert answer == analysis.connected_components(small_powerlaw)
+
+    def test_round_counters_advance(self, small_powerlaw):
+        engine = make_engine(small_powerlaw, CCProgram(), CCQuery())
+        ex = ScheduledExecutor(engine)
+        ex.start()
+        assert all(r == 1 for r in ex.rounds)
+        ex.drain()
+        assert any(r > 1 for r in ex.rounds)
+
+
+class TestSupersteps:
+    def test_strict_supersteps_reach_reference(self, small_grid):
+        engine = make_engine(small_grid, SSSPProgram(), SSSPQuery(source=0))
+        ex = ScheduledExecutor(engine)
+        ex.start()
+        count = ex.run_supersteps()
+        assert count > 0
+        ref = analysis.dijkstra(small_grid, 0)
+        answer = ex.assemble()
+        assert all(answer[v] == pytest.approx(ref[v]) for v in ref)
+
+    def test_superstep_count_tracks_propagation_depth(self):
+        # a path split into m chunks needs ~m superstep waves
+        g = generators.path_graph(40, weighted=False)
+        from repro.partition.edge_cut import RangePartitioner
+        pg = RangePartitioner().partition(g, 8)
+        engine = Engine(SSSPProgram(), pg, SSSPQuery(source=0))
+        ex = ScheduledExecutor(engine)
+        ex.start()
+        count = ex.run_supersteps()
+        assert count >= 7
+
+    def test_superstep_false_at_fixpoint(self, small_grid):
+        engine = make_engine(small_grid, CCProgram(), CCQuery())
+        ex = ScheduledExecutor(engine)
+        ex.start()
+        ex.run_supersteps()
+        assert ex.superstep() is False

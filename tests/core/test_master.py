@@ -1,0 +1,76 @@
+"""Tests for the master's termination protocol."""
+
+import threading
+
+import pytest
+
+from repro.core.master import TerminationMaster
+from repro.errors import TerminationError
+
+
+class TestProtocol:
+    def test_no_termination_while_active(self):
+        m = TerminationMaster(3)
+        m.set_inactive(0)
+        m.set_inactive(1)
+        assert not m.try_terminate()
+
+    def test_terminates_when_all_inactive(self):
+        m = TerminationMaster(2)
+        m.set_inactive(0)
+        m.set_inactive(1)
+        assert m.try_terminate()
+        assert m.terminated
+
+    def test_in_flight_blocks_termination(self):
+        m = TerminationMaster(1)
+        m.set_inactive(0)
+        m.message_sent()
+        assert not m.try_terminate()
+        m.message_delivered()
+        assert m.try_terminate()
+
+    def test_reactivation_answers_wait(self):
+        # a worker that received a message flips back to active, so the
+        # master's broadcast gets a "wait" and the phase resumes
+        m = TerminationMaster(2)
+        m.set_inactive(0)
+        m.set_inactive(1)
+        m.set_active(1)
+        assert not m.try_terminate()
+
+    def test_negative_in_flight_rejected(self):
+        m = TerminationMaster(1)
+        with pytest.raises(TerminationError):
+            m.message_delivered()
+
+    def test_attempt_counter(self):
+        m = TerminationMaster(1)
+        m.try_terminate()
+        m.try_terminate()
+        assert m.attempts == 2
+
+    def test_snapshot_flags(self):
+        m = TerminationMaster(3)
+        m.set_inactive(1)
+        assert m.snapshot_flags() == [False, True, False]
+
+
+class TestWaiting:
+    def test_wait_returns_when_quiescent(self):
+        m = TerminationMaster(2)
+
+        def finish():
+            m.set_inactive(0)
+            m.set_inactive(1)
+
+        t = threading.Timer(0.02, finish)
+        t.start()
+        m.wait_for_termination(timeout=5.0)
+        assert m.terminated
+        t.join()
+
+    def test_wait_times_out(self):
+        m = TerminationMaster(1)
+        with pytest.raises(TerminationError):
+            m.wait_for_termination(timeout=0.05)

@@ -1,0 +1,76 @@
+"""Tests for designated messages and the receive buffer."""
+
+from repro.core.messages import (ENTRY_BYTES, ENVELOPE_BYTES, Message,
+                                 MessageBuffer, group_entries, make_messages)
+
+
+class TestMessage:
+    def test_size_accounting(self):
+        m = Message(src=0, dst=1, round=2, entries=(("a", 1), ("b", 2)))
+        assert m.size_bytes == ENVELOPE_BYTES + 2 * ENTRY_BYTES
+        assert len(m) == 2
+
+    def test_custom_entry_bytes(self):
+        m = Message(src=0, dst=1, round=0, entries=(("a", 1),),
+                    entry_bytes=64)
+        assert m.size_bytes == ENVELOPE_BYTES + 64
+
+    def test_seq_monotone(self):
+        a = Message(src=0, dst=1, round=0, entries=())
+        b = Message(src=0, dst=1, round=0, entries=())
+        assert b.seq > a.seq
+
+
+class TestMakeMessages:
+    def test_one_per_destination(self):
+        msgs = make_messages(0, 3, {2: [("x", 1)], 1: [("y", 2), ("z", 3)]})
+        assert [m.dst for m in msgs] == [1, 2]
+        assert all(m.src == 0 and m.round == 3 for m in msgs)
+
+    def test_skips_empty_destinations(self):
+        msgs = make_messages(0, 1, {1: []})
+        assert msgs == []
+
+    def test_token_attached(self):
+        msgs = make_messages(0, 1, {1: [("x", 1)]}, token=42)
+        assert msgs[0].token == 42
+
+
+class TestBuffer:
+    def test_staleness_counts_batches(self):
+        buf = MessageBuffer()
+        buf.push(Message(src=0, dst=1, round=0, entries=(("a", 1),)))
+        buf.push(Message(src=2, dst=1, round=0, entries=(("b", 2),)))
+        assert buf.staleness == 2
+        assert len(buf) == 2
+        assert bool(buf)
+
+    def test_drain_atomic(self):
+        buf = MessageBuffer()
+        buf.push(Message(src=0, dst=1, round=0, entries=(("a", 1),)))
+        taken = buf.drain()
+        assert len(taken) == 1
+        assert buf.staleness == 0
+        assert not buf
+
+    def test_totals_survive_drain(self):
+        buf = MessageBuffer()
+        m = Message(src=0, dst=1, round=0, entries=(("a", 1),))
+        buf.push(m)
+        buf.drain()
+        assert buf.total_received == 1
+        assert buf.total_bytes == m.size_bytes
+
+    def test_distinct_senders(self):
+        buf = MessageBuffer()
+        for src in (0, 0, 3):
+            buf.push(Message(src=src, dst=1, round=0, entries=(("a", 1),)))
+        assert buf.distinct_senders() == {0, 3}
+
+
+class TestGroupEntries:
+    def test_groups_by_node_in_order(self):
+        m1 = Message(src=0, dst=1, round=0, entries=(("a", 1), ("b", 2)))
+        m2 = Message(src=2, dst=1, round=0, entries=(("a", 3),))
+        grouped = group_entries([m1, m2])
+        assert grouped == {"a": [1, 3], "b": [2]}

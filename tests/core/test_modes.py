@@ -1,0 +1,48 @@
+"""Tests for mode name -> policy construction."""
+
+import pytest
+
+from repro.core.delay import (AAPPolicy, APPolicy, BSPPolicy, HsyncPolicy,
+                              SSPPolicy)
+from repro.core.modes import MODES, make_policy, policy_table
+from repro.errors import RuntimeConfigError
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("mode,cls", [
+        ("BSP", BSPPolicy), ("AP", APPolicy), ("SSP", SSPPolicy),
+        ("AAP", AAPPolicy), ("Hsync", HsyncPolicy)])
+    def test_types(self, mode, cls):
+        assert isinstance(make_policy(mode), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("bsp"), BSPPolicy)
+        assert isinstance(make_policy(" aap "), AAPPolicy)
+
+    def test_ssp_default_bound(self):
+        assert make_policy("SSP").staleness_bound == 1
+        assert make_policy("SSP", staleness_bound=4).staleness_bound == 4
+
+    def test_aap_kwargs_forwarded(self):
+        p = make_policy("AAP", l_bottom=3, dt_fraction=0.7)
+        assert p.l_bottom == 3
+        assert p.dt_fraction == 0.7
+
+    def test_aap_staleness_bound(self):
+        assert make_policy("AAP", staleness_bound=2).staleness_bound == 2
+
+    def test_unknown_mode(self):
+        with pytest.raises(RuntimeConfigError):
+            make_policy("WEIRD")
+
+
+class TestPolicyTable:
+    def test_covers_all_modes(self):
+        table = policy_table()
+        assert set(table) == set(MODES)
+
+    def test_fresh_instances(self):
+        a = policy_table()
+        b = policy_table()
+        for mode in MODES:
+            assert a[mode] is not b[mode]

@@ -1,0 +1,73 @@
+"""Tests for the EMA-based runtime predictors."""
+
+import pytest
+
+from repro.core.predictors import ArrivalRatePredictor, Ema, RoundTimePredictor
+
+
+class TestEma:
+    def test_first_observation(self):
+        e = Ema(alpha=0.5)
+        e.observe(4.0)
+        assert e.value == 4.0
+        assert e.count == 1
+
+    def test_smoothing(self):
+        e = Ema(alpha=0.5)
+        e.observe(0.0)
+        e.observe(10.0)
+        assert e.value == 5.0
+
+    def test_alpha_one_tracks_last(self):
+        e = Ema(alpha=1.0)
+        e.observe(1.0)
+        e.observe(9.0)
+        assert e.value == 9.0
+
+    def test_get_default(self):
+        assert Ema().get(default=7.0) == 7.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            Ema(alpha=0.0)
+        with pytest.raises(ValueError):
+            Ema(alpha=1.5)
+
+
+class TestRoundTimePredictor:
+    def test_default_before_observations(self):
+        assert RoundTimePredictor().predict(default=3.0) == 3.0
+
+    def test_converges_to_constant(self):
+        p = RoundTimePredictor(alpha=0.5)
+        for _ in range(20):
+            p.observe_round(6.0)
+        assert p.predict() == pytest.approx(6.0)
+
+
+class TestArrivalRatePredictor:
+    def test_unknown_before_two_arrivals(self):
+        p = ArrivalRatePredictor()
+        assert p.predict() == 0.0
+        p.observe_arrival(1.0)
+        assert p.predict() == 0.0
+
+    def test_steady_rate(self):
+        p = ArrivalRatePredictor(alpha=0.5)
+        for t in range(10):
+            p.observe_arrival(float(t) * 2.0)
+        assert p.predict() == pytest.approx(0.5)
+
+    def test_simultaneous_arrivals_give_infinite_rate(self):
+        p = ArrivalRatePredictor(alpha=1.0)
+        p.observe_arrival(1.0)
+        p.observe_arrival(1.0)
+        assert p.predict() == float("inf")
+
+    def test_rate_adapts(self):
+        p = ArrivalRatePredictor(alpha=1.0)
+        p.observe_arrival(0.0)
+        p.observe_arrival(1.0)
+        assert p.predict() == pytest.approx(1.0)
+        p.observe_arrival(5.0)
+        assert p.predict() == pytest.approx(0.25)

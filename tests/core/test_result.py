@@ -1,0 +1,29 @@
+"""Tests for RunResult."""
+
+from repro.core.result import RunResult
+from repro.runtime.metrics import RunMetrics, WorkerMetrics
+
+
+def make_result():
+    metrics = RunMetrics.from_workers(
+        [WorkerMetrics(wid=0, rounds=3, busy_time=2.0, messages_sent=5,
+                       bytes_sent=80)],
+        makespan=7.5)
+    return RunResult(answer={"x": 1}, mode="AAP", metrics=metrics,
+                     rounds=[3])
+
+
+class TestRunResult:
+    def test_time_is_makespan(self):
+        assert make_result().time == 7.5
+
+    def test_communication_bytes(self):
+        assert make_result().communication_bytes == 80
+
+    def test_repr_mentions_mode_and_time(self):
+        text = repr(make_result())
+        assert "AAP" in text
+        assert "7.5" in text
+
+    def test_extras_default_empty(self):
+        assert make_result().extras == {}

@@ -1,0 +1,74 @@
+"""Tests for per-worker runtime state."""
+
+from repro.core.messages import Message
+from repro.core.worker import WorkerState, WorkerStatus
+
+
+def msg(dst=0, src=1):
+    return Message(src=src, dst=dst, round=0, entries=(("x", 1),))
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        w = WorkerState(3)
+        assert w.status is WorkerStatus.CREATED
+        assert w.rounds == 0
+        assert w.eta == 0
+        assert w.pending  # created workers still owe their PEval
+
+    def test_pending_semantics(self):
+        w = WorkerState(0)
+        w.status = WorkerStatus.INACTIVE
+        assert not w.pending
+        w.buffer.push(msg())
+        assert w.pending
+        w.buffer.drain()
+        w.status = WorkerStatus.RUNNING
+        assert w.pending
+
+    def test_host_defaults_to_wid(self):
+        assert WorkerState(5).host == 5
+        assert WorkerState(5, host=2).host == 2
+
+
+class TestIdleAccounting:
+    def test_running_is_never_idle(self):
+        w = WorkerState(0)
+        w.status = WorkerStatus.RUNNING
+        assert w.idle_for(100.0) == 0.0
+
+    def test_idle_from_round_end(self):
+        w = WorkerState(0)
+        w.status = WorkerStatus.WAITING
+        w.idle_since = 10.0
+        assert w.idle_for(14.0) == 4.0
+
+    def test_arrival_resets_idle_reference(self):
+        """T_idle restarts when updates keep flowing (flux-aware guard)."""
+        w = WorkerState(0)
+        w.status = WorkerStatus.WAITING
+        w.idle_since = 10.0
+        w.last_arrival = 13.0
+        assert w.idle_for(14.0) == 1.0
+
+    def test_idle_never_negative(self):
+        w = WorkerState(0)
+        w.status = WorkerStatus.WAITING
+        w.idle_since = 10.0
+        assert w.idle_for(5.0) == 0.0
+
+
+class TestWakeEpochs:
+    def test_invalidate_bumps_epoch(self):
+        w = WorkerState(0)
+        e1 = w.invalidate_wakeups()
+        e2 = w.invalidate_wakeups()
+        assert e2 == e1 + 1
+        assert w.wake_epoch == e2
+
+    def test_eta_counts_batches(self):
+        w = WorkerState(0)
+        w.buffer.push(msg(src=1))
+        w.buffer.push(msg(src=1))
+        w.buffer.push(msg(src=2))
+        assert w.eta == 3

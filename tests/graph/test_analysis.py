@@ -1,0 +1,132 @@
+"""Tests for the sequential reference algorithms."""
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import analysis, generators
+from repro.graph.graph import Graph
+
+
+class TestDijkstra:
+    def test_path_graph(self):
+        g = generators.path_graph(5, weighted=False)
+        dist = analysis.dijkstra(g, 0)
+        assert dist == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+
+    def test_weighted_shortcut(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1, 10.0)
+        g.add_edge(0, 2, 1.0)
+        g.add_edge(2, 1, 2.0)
+        assert analysis.dijkstra(g, 0)[1] == 3.0
+
+    def test_unreachable_is_inf(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1)
+        g.add_node(9)
+        assert analysis.dijkstra(g, 0)[9] == math.inf
+
+    def test_direction_respected(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1, 1.0)
+        assert analysis.dijkstra(g, 1)[0] == math.inf
+
+    def test_unknown_source(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            analysis.dijkstra(g, 0)
+
+    def test_negative_weight_rejected(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1, -1.0)
+        with pytest.raises(GraphError):
+            analysis.dijkstra(g, 0)
+
+
+class TestComponents:
+    def test_two_components(self):
+        g = Graph(directed=False)
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        comp = analysis.connected_components(g)
+        assert comp == {1: 1, 2: 1, 3: 3, 4: 3}
+
+    def test_weak_connectivity_on_directed(self):
+        g = Graph(directed=True)
+        g.add_edge(2, 1)  # only reachable 2->1
+        comp = analysis.connected_components(g)
+        assert comp[1] == comp[2] == 1
+
+    def test_components_as_sets_sorted(self):
+        g = Graph(directed=False)
+        g.add_edge(5, 6)
+        g.add_edge(1, 2)
+        sets = analysis.components_as_sets(g)
+        assert sets == [{1, 2}, {5, 6}]
+
+    def test_isolated_nodes(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("b")
+        assert len(analysis.components_as_sets(g)) == 2
+
+
+class TestPageRank:
+    def test_sums_match_formula_on_cycle(self):
+        # symmetric cycle: all scores equal (1-d)/(1-d) = 1
+        g = Graph(directed=True)
+        for i in range(4):
+            g.add_edge(i, (i + 1) % 4)
+        scores = analysis.pagerank(g, damping=0.85, epsilon=1e-12)
+        for v in g.nodes:
+            assert scores[v] == pytest.approx(1.0, rel=1e-6)
+
+    def test_hub_scores_higher(self):
+        g = Graph(directed=True)
+        for leaf in range(1, 6):
+            g.add_edge(leaf, 0)
+        scores = analysis.pagerank(g)
+        assert scores[0] > scores[1]
+
+    def test_dangling_leaks_mass(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1)  # 1 is dangling
+        scores = analysis.pagerank(g, damping=0.5, epsilon=1e-12)
+        assert scores[0] == pytest.approx(0.5)
+        assert scores[1] == pytest.approx(0.5 + 0.25)
+
+
+class TestMisc:
+    def test_bfs_levels(self):
+        g = generators.grid2d(3, 3, weighted=False)
+        levels = analysis.bfs_levels(g, 0)
+        assert levels[0] == 0
+        assert levels[8] == 4
+
+    def test_bfs_unknown_source(self):
+        with pytest.raises(GraphError):
+            analysis.bfs_levels(Graph(), 0)
+
+    def test_degree_histogram(self):
+        g = generators.star_graph(5)
+        hist = analysis.degree_histogram(g)
+        assert hist == {4: 1, 1: 4}
+
+    def test_degree_skew_uniform(self):
+        g = generators.grid2d(5, 5)
+        assert analysis.degree_skew(g) <= 2.0
+
+    def test_diameter_estimate_path(self):
+        g = generators.path_graph(20)
+        assert analysis.diameter_estimate(g, samples=3) == 19
+
+    def test_rmse(self):
+        predicted = {(1, 2): 3.0, (1, 3): 5.0}
+        actual = [(1, 2, 3.0), (1, 3, 4.0), (9, 9, 1.0)]
+        assert analysis.rmse(predicted, actual) == pytest.approx(
+            (1.0 / 2) ** 0.5)
+
+    def test_rmse_empty(self):
+        assert analysis.rmse({}, []) == 0.0

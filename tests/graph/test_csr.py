@@ -1,0 +1,117 @@
+"""Tests for the CSR compact graph backend."""
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import analysis, generators
+from repro.graph.csr import CompactGraph
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def small_compact(small_grid):
+    return CompactGraph.from_graph(small_grid)
+
+
+class TestConstruction:
+    def test_from_graph_roundtrip(self, small_grid):
+        cg = CompactGraph.from_graph(small_grid)
+        assert cg.num_nodes == small_grid.num_nodes
+        assert cg.num_edges == small_grid.num_edges
+        assert cg.to_graph() == small_grid
+
+    def test_from_edges_directed(self):
+        cg = CompactGraph.from_edges(3, [(0, 1, 2.0), (1, 2, 3.0)],
+                                     directed=True)
+        assert cg.out_edges(0) == [(1, 2.0)]
+        assert cg.out_edges(2) == []
+        assert cg.in_edges(2) == [(1, 3.0)]
+
+    def test_from_edges_undirected_mirrors(self):
+        cg = CompactGraph.from_edges(2, [(0, 1, 5.0)], directed=False)
+        assert cg.out_edges(1) == [(0, 5.0)]
+        assert cg.num_edges == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphError):
+            CompactGraph.from_edges(2, [(0, 5, 1.0)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            CompactGraph.from_edges(2, [(1, 1, 1.0)])
+
+    def test_rejects_noncontiguous_ids(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(GraphError):
+            CompactGraph.from_graph(g)
+
+
+class TestReadApi:
+    def test_adjacency_matches_dict_graph(self, small_grid, small_compact):
+        for v in small_grid.nodes:
+            assert sorted(small_compact.out_edges(v)) == \
+                sorted(small_grid.out_edges(v))
+            assert small_compact.out_degree(v) == small_grid.out_degree(v)
+            assert small_compact.in_degree(v) == small_grid.in_degree(v)
+
+    def test_edges_iterate_once(self, small_grid, small_compact):
+        mine = {(u, v) for u, v, _ in small_compact.edges()}
+        theirs = {(min(u, v), max(u, v))
+                  for u, v, _ in small_grid.edges()}
+        assert {(min(u, v), max(u, v)) for u, v in mine} == theirs
+
+    def test_has_edge_and_weight(self, small_grid, small_compact):
+        u, v, w = next(iter(small_grid.edges()))
+        assert small_compact.has_edge(u, v)
+        assert small_compact.weight(u, v) == w
+        assert not small_compact.has_edge(0, 99)
+
+    def test_unknown_access(self, small_compact):
+        with pytest.raises(GraphError):
+            small_compact.out_edges(-1)
+        with pytest.raises(GraphError):
+            small_compact.weight(0, 2)
+        assert "ghost" not in small_compact
+
+    def test_len_and_repr(self, small_compact):
+        assert len(small_compact) == 100
+        assert "CompactGraph" in repr(small_compact)
+
+
+class TestAlgorithmsRunOnCsr:
+    def test_dijkstra(self, small_grid, small_compact):
+        ref = analysis.dijkstra(small_grid, 0)
+        got = analysis.dijkstra(small_compact, 0)
+        assert all(got[v] == pytest.approx(ref[v]) for v in ref)
+
+    def test_components(self, small_powerlaw):
+        cg = CompactGraph.from_graph(small_powerlaw)
+        assert analysis.connected_components(cg) == \
+            analysis.connected_components(small_powerlaw)
+
+    def test_pagerank(self, small_powerlaw):
+        cg = CompactGraph.from_graph(small_powerlaw)
+        ref = analysis.pagerank(small_powerlaw, epsilon=1e-9)
+        got = analysis.pagerank(cg, epsilon=1e-9)
+        for v in ref:
+            assert got[v] == pytest.approx(ref[v], abs=1e-6)
+
+    def test_bfs_and_diameter(self, small_grid, small_compact):
+        assert analysis.bfs_levels(small_compact, 0) == \
+            analysis.bfs_levels(small_grid, 0)
+        assert analysis.diameter_estimate(small_compact) == \
+            analysis.diameter_estimate(small_grid)
+
+
+class TestEndToEndOnCsr:
+    def test_partition_and_run_from_csr(self, small_powerlaw):
+        """A CompactGraph feeds the partitioner/engine unchanged."""
+        from repro import api
+        from repro.algorithms import CCProgram, CCQuery
+        cg = CompactGraph.from_graph(small_powerlaw)
+        pg = api.partition_graph(cg, 4)
+        r = api.run(CCProgram(), pg, CCQuery())
+        assert r.answer == analysis.connected_components(small_powerlaw)

@@ -1,0 +1,158 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import analysis, generators
+
+
+class TestErdosRenyi:
+    def test_node_count(self):
+        g = generators.erdos_renyi(50, 0.1, seed=1)
+        assert g.num_nodes == 50
+
+    def test_determinism(self):
+        a = generators.erdos_renyi(40, 0.2, seed=7)
+        b = generators.erdos_renyi(40, 0.2, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generators.erdos_renyi(40, 0.2, seed=7)
+        b = generators.erdos_renyi(40, 0.2, seed=8)
+        assert a != b
+
+    def test_p_zero_no_edges(self):
+        assert generators.erdos_renyi(20, 0.0, seed=1).num_edges == 0
+
+    def test_p_one_complete(self):
+        g = generators.erdos_renyi(10, 1.0, seed=1)
+        assert g.num_edges == 45
+
+    def test_invalid_p(self):
+        with pytest.raises(GraphError):
+            generators.erdos_renyi(10, 1.5)
+
+    def test_weighted(self):
+        g = generators.erdos_renyi(20, 0.5, weighted=True, seed=3)
+        weights = {w for _, _, w in g.edges()}
+        assert all(1.0 <= w <= 10.0 for w in weights)
+        assert len(weights) > 1
+
+
+class TestPowerlaw:
+    def test_size(self):
+        g = generators.powerlaw(200, m=3, seed=2)
+        assert g.num_nodes == 200
+
+    def test_degree_skew(self):
+        g = generators.powerlaw(500, m=3, seed=2)
+        assert analysis.degree_skew(g) > 3.0
+
+    def test_connected(self):
+        g = generators.powerlaw(300, m=2, seed=4)
+        comps = analysis.components_as_sets(g)
+        assert len(comps) == 1
+
+    def test_rejects_small_n(self):
+        with pytest.raises(GraphError):
+            generators.powerlaw(3, m=3)
+
+    def test_determinism(self):
+        assert generators.powerlaw(100, seed=5) == generators.powerlaw(
+            100, seed=5)
+
+
+class TestRmat:
+    def test_node_count_power_of_two(self):
+        g = generators.rmat(7, edge_factor=4, seed=1)
+        assert g.num_nodes == 128
+
+    def test_directed(self):
+        g = generators.rmat(6, seed=1)
+        assert g.directed
+
+    def test_invalid_quadrants(self):
+        with pytest.raises(GraphError):
+            generators.rmat(5, a=0.5, b=0.3, c=0.3)
+
+    def test_skewed_degrees(self):
+        g = generators.rmat(9, edge_factor=8, seed=2)
+        assert analysis.degree_skew(g) > 3.0
+
+
+class TestSmallWorld:
+    def test_size_and_degree(self):
+        g = generators.small_world(60, k=4, beta=0.0, seed=1)
+        assert g.num_nodes == 60
+        # pure ring lattice: every node has degree k
+        assert all(g.out_degree(v) == 4 for v in g.nodes)
+
+    def test_rewiring_changes_graph(self):
+        a = generators.small_world(60, k=4, beta=0.0, seed=1)
+        b = generators.small_world(60, k=4, beta=0.9, seed=1)
+        assert a != b
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphError):
+            generators.small_world(10, k=3)
+
+
+class TestGrid:
+    def test_size(self):
+        g = generators.grid2d(5, 7)
+        assert g.num_nodes == 35
+        assert g.num_edges == 5 * 6 + 4 * 7
+
+    def test_large_diameter(self):
+        g = generators.grid2d(15, 15, weighted=False)
+        assert analysis.diameter_estimate(g) >= 28
+
+    def test_invalid_dims(self):
+        with pytest.raises(GraphError):
+            generators.grid2d(0, 5)
+
+    def test_corner_degrees(self):
+        g = generators.grid2d(4, 4)
+        assert g.out_degree(0) == 2
+        assert g.out_degree(5) == 4
+
+
+class TestBipartite:
+    def test_shape(self):
+        g, uf, pf = generators.bipartite_ratings(20, 10, 5, rank=3, seed=1)
+        users = [v for v in g.nodes if v[0] == "u"]
+        items = [v for v in g.nodes if v[0] == "p"]
+        assert len(users) == 20 and len(items) == 10
+        assert g.num_edges == 100
+        assert len(uf) == 20 and len(uf[0]) == 3
+
+    def test_ratings_near_planted(self):
+        g, uf, pf = generators.bipartite_ratings(10, 8, 4, rank=2,
+                                                 noise=0.0, seed=2)
+        for u, p, r in g.edges():
+            if u[0] == "p":
+                u, p = p, u
+            planted = sum(a * b for a, b in zip(uf[u[1]], pf[p[1]]))
+            assert abs(r - planted) < 1e-9
+
+    def test_too_many_ratings(self):
+        with pytest.raises(GraphError):
+            generators.bipartite_ratings(5, 3, 4)
+
+
+class TestSimpleShapes:
+    def test_path(self):
+        g = generators.path_graph(10)
+        assert g.num_edges == 9
+        assert analysis.diameter_estimate(g) == 9
+
+    def test_star(self):
+        g = generators.star_graph(11)
+        assert g.out_degree(0) == 10
+        assert g.num_edges == 10
+
+    def test_complete(self):
+        g = generators.complete_graph(6)
+        assert g.num_edges == 15
+        gd = generators.complete_graph(4, directed=True)
+        assert gd.num_edges == 12

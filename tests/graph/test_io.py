@@ -1,0 +1,71 @@
+"""Tests for graph serialisation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators, io
+from repro.graph.graph import Graph
+
+
+class TestEdgeList:
+    def test_roundtrip_directed(self, tmp_path):
+        g = generators.rmat(5, edge_factor=3, seed=1)
+        path = tmp_path / "g.txt"
+        io.write_edge_list(g, path)
+        back = io.read_edge_list(path)
+        assert back == g
+
+    def test_roundtrip_undirected_weighted(self, tmp_path):
+        g = generators.grid2d(4, 4, weighted=True, seed=2)
+        path = tmp_path / "g.txt"
+        io.write_edge_list(g, path)
+        back = io.read_edge_list(path)
+        assert back == g
+        assert not back.directed
+
+    def test_directed_override(self, tmp_path):
+        g = Graph(directed=False)
+        g.add_edge(1, 2)
+        path = tmp_path / "g.txt"
+        io.write_edge_list(g, path)
+        forced = io.read_edge_list(path, directed=True)
+        assert forced.directed
+
+    def test_bad_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3 4 5\n")
+        with pytest.raises(GraphError):
+            io.read_edge_list(path)
+
+    def test_string_nodes(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("# directed: true\nalice bob 2.0\n")
+        g = io.read_edge_list(path)
+        assert g.has_edge("alice", "bob")
+
+    def test_blank_lines_and_comments(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# directed: false\n\n# comment\n1 2\n")
+        g = io.read_edge_list(path)
+        assert g.num_edges == 1
+
+
+class TestJson:
+    def test_roundtrip_with_labels(self, tmp_path):
+        g = Graph(directed=True)
+        g.add_node(1, label="source")
+        g.add_edge(1, 2, 4.0, label="road")
+        path = tmp_path / "g.json"
+        io.write_json(g, path)
+        back = io.read_json(path)
+        assert back == g
+        assert back.node_label(1) == "source"
+        assert back.edge_label(1, 2) == "road"
+
+    def test_tuple_node_ids_roundtrip(self, tmp_path):
+        g, _, _ = generators.bipartite_ratings(5, 4, 2, seed=1)
+        path = tmp_path / "b.json"
+        io.write_json(g, path)
+        back = io.read_json(path)
+        assert back == g
+        assert any(isinstance(v, tuple) for v in back.nodes)

@@ -1,0 +1,136 @@
+"""Tests for the experiment harness (workloads, reporting, runners)."""
+
+import pytest
+
+from repro.bench import experiments, reporting, workloads
+from repro.graph import analysis
+
+
+class TestWorkloads:
+    def test_friendster_standin_is_skewed(self):
+        g = workloads.friendster()
+        assert analysis.degree_skew(g) > 3.0
+
+    def test_traffic_standin_has_large_diameter(self):
+        g = workloads.traffic()
+        assert analysis.diameter_estimate(g) > 30
+
+    def test_ukweb_directed(self):
+        assert workloads.ukweb(scale=0.5).directed
+
+    def test_scale_grows_graphs(self):
+        small = workloads.friendster(scale=0.5)
+        big = workloads.friendster(scale=1.5)
+        assert big.num_nodes > small.num_nodes
+
+    def test_bipartite_standins(self):
+        g, uf, pf = workloads.movielens()
+        assert g.num_edges > 0
+        assert len(uf) > len(pf)
+
+    def test_fig1_graph_structure(self):
+        g = workloads.fig1_graph()
+        assert g.num_nodes == 24
+        # the chain makes it a single component with min id 0
+        comp = analysis.connected_components(g)
+        assert set(comp.values()) == {0}
+
+    def test_fig1_partition_layout(self):
+        pg = workloads.fig1_partition()
+        assert pg.num_fragments == 3
+        # F3 owns components 0 and 7
+        f3 = pg.fragments[2]
+        assert {0, 1, 2, 70, 71, 72} <= f3.owned
+
+    def test_fig1_cost_model_timing(self):
+        cm = workloads.fig1_cost_model()
+        assert cm.round_time(0, 10_000) == 3.0
+        assert cm.round_time(2, 1) == 6.0
+        assert cm.transfer_time(100) == 1.0
+
+    def test_partition_skew_knob(self):
+        from repro.partition.skew import skew_ratio
+        g = workloads.friendster(scale=0.5)
+        pg = workloads.partition(g, 4, skew=3.0)
+        assert skew_ratio(pg) >= 3.0
+
+    def test_partition_locality_knob(self):
+        from repro.partition.quality import edge_cut_ratio
+        g = workloads.traffic(scale=0.5)
+        hash_pg = workloads.partition(g, 4)
+        local_pg = workloads.partition(g, 4, locality=True)
+        assert edge_cut_ratio(local_pg) < edge_cut_ratio(hash_pg)
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = reporting.format_table("T", ["a", "b"], [[1, 2.5], ["x", 3]])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = reporting.format_series("S", "n", [1, 2],
+                                       {"AAP": [0.5, 0.25]})
+        assert "AAP" in text
+        assert "0.250" in text
+
+    def test_speedups(self):
+        sp = reporting.speedups({"BSP": 10.0, "AAP": 5.0}, baseline="BSP")
+        assert sp["AAP"] == 2.0
+        assert sp["BSP"] == 1.0
+
+    def test_human_bytes(self):
+        assert reporting.human_bytes(512) == "512.0B"
+        assert reporting.human_bytes(2048) == "2.0KB"
+        assert reporting.human_bytes(3 * 1024 ** 3) == "3.0GB"
+
+    def test_large_numbers_formatted(self):
+        text = reporting.format_table("T", ["x"], [[123456.7]])
+        assert "123,457" in text
+
+
+class TestExperimentRunners:
+    """Small-scale smoke runs of each experiment function."""
+
+    def test_modes_experiment_shape(self):
+        g = workloads.traffic(scale=0.3)
+        series = experiments.run_modes_experiment(
+            "cc", g, workers=(2, 3), straggler_factor=2.0)
+        assert set(series) == set(experiments.FIG6_MODES)
+        assert all(len(v) == 2 for v in series.values())
+        assert all(t > 0 for v in series.values() for t in v)
+
+    def test_table1_rows(self):
+        rows = experiments.run_table1(num_workers=4, scale=0.3)
+        systems = {r["system"] for r in rows}
+        assert "GRAPE+" in systems
+        assert len(systems) == 7
+        assert all(r["sssp_time"] > 0 for r in rows)
+
+    def test_scaleup_ratios(self):
+        data = experiments.run_scaleup("cc", workers=(2, 4),
+                                       base_scale=0.2)
+        assert data["ratio"][0] == 1.0
+        assert len(data["time"]) == 2
+
+    def test_communication_rows(self):
+        rows = experiments.run_communication(algorithms=("cc",),
+                                             num_workers=4)
+        assert {r["mode"] for r in rows} == set(experiments.FIG6_MODES)
+        assert all(r["bytes"] > 0 for r in rows)
+
+    def test_fig7_casestudy_keys(self):
+        out = experiments.run_fig7_casestudy(num_workers=4)
+        assert set(out) == {"BSP", "AP", "SSP", "AAP"}
+        for d in out.values():
+            assert d["time"] > 0
+            assert d["straggler_rounds"] >= 1
+
+    def test_cf_casestudy_rows(self):
+        rows = experiments.run_cf_casestudy(num_workers=3, epochs=2,
+                                            bounds=(1, 2))
+        modes = {r["mode"] for r in rows}
+        assert modes == {"BSP", "AP", "SSP", "AAP"}
+        assert all(0 <= r["rmse"] < 2.0 for r in rows)

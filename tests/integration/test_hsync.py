@@ -1,0 +1,48 @@
+"""Integration tests for the Hsync (PowerSwitch) policy on real workloads."""
+
+from repro import api
+from repro.algorithms import CCProgram, CCQuery, PageRankProgram, \
+    PageRankQuery
+from repro.core.delay import HsyncPolicy
+from repro.graph import analysis
+from repro.partition.edge_cut import HashPartitioner
+from repro.runtime.costmodel import CostModel
+
+
+class TestHsyncOnWorkloads:
+    def test_switches_during_pagerank(self, small_powerlaw):
+        """With heavy message accumulation, Hsync leaves AP for BSP at
+        least once during a PageRank run."""
+        policy = HsyncPolicy(staleness_threshold=1.5, window=4)
+        pg = HashPartitioner().partition(small_powerlaw, 6)
+        r = api.run(PageRankProgram(), pg,
+                    PageRankQuery(epsilon=1e-3, num_nodes=300),
+                    policy=policy,
+                    cost_model=CostModel.with_straggler(0, factor=4.0))
+        assert policy.switches >= 1
+        ref = analysis.pagerank(small_powerlaw, epsilon=1e-10)
+        for v in ref:
+            assert abs(r.answer[v] - ref[v]) < 5e-3
+
+    def test_correct_answers_with_aggressive_switching(self,
+                                                       small_powerlaw):
+        policy = HsyncPolicy(straggler_threshold=1.1,
+                             staleness_threshold=0.5, window=2,
+                             switch_cost=2.0)
+        r = api.run(CCProgram(), small_powerlaw, CCQuery(),
+                    num_fragments=5, policy=policy)
+        assert r.answer == analysis.connected_components(small_powerlaw)
+
+    def test_switch_cost_visible_in_makespan(self, small_powerlaw):
+        pg = HashPartitioner().partition(small_powerlaw, 5)
+
+        def run(cost):
+            policy = HsyncPolicy(staleness_threshold=0.5, window=2,
+                                 switch_cost=cost)
+            return api.run(CCProgram(), pg, CCQuery(), policy=policy,
+                           cost_model=CostModel(seed=3)), policy
+
+        cheap, cheap_policy = run(0.0)
+        costly, costly_policy = run(25.0)
+        if cheap_policy.switches and costly_policy.switches:
+            assert costly.time > cheap.time

@@ -1,0 +1,53 @@
+"""Tests for partition quality metrics."""
+
+import pytest
+
+from repro.graph import generators
+from repro.partition.edge_cut import BfsPartitioner, HashPartitioner
+from repro.partition.quality import (balance, edge_cut_ratio,
+                                     replication_factor, summary)
+from repro.partition.vertex_cut import GreedyVertexCutPartitioner
+
+
+class TestEdgeCutRatio:
+    def test_single_fragment_zero(self, small_grid):
+        pg = HashPartitioner().partition(small_grid, 1)
+        assert edge_cut_ratio(pg) == 0.0
+
+    def test_bounded_by_one(self, small_powerlaw):
+        pg = HashPartitioner().partition(small_powerlaw, 6)
+        assert 0.0 <= edge_cut_ratio(pg) <= 1.0
+
+    def test_counts_cut_edges_exactly(self):
+        g = generators.path_graph(4)
+        from repro.partition.builder import build_edge_cut
+        pg = build_edge_cut(g, {0: 0, 1: 0, 2: 1, 3: 1}, 2)
+        # one of three edges is cut
+        assert edge_cut_ratio(pg) == pytest.approx(1 / 3)
+
+
+class TestReplication:
+    def test_single_fragment_one(self, small_grid):
+        pg = HashPartitioner().partition(small_grid, 1)
+        assert replication_factor(pg) == 1.0
+
+    def test_vertex_cut_replicates(self, small_powerlaw):
+        pg = GreedyVertexCutPartitioner(seed=1).partition(small_powerlaw, 4)
+        assert replication_factor(pg) > 1.0
+
+
+class TestSummary:
+    def test_all_keys(self, small_grid):
+        pg = BfsPartitioner(seed=0).partition(small_grid, 3)
+        s = summary(pg)
+        assert set(s) == {"fragments", "edge_cut_ratio",
+                          "replication_factor", "balance", "skew_ratio"}
+        assert s["fragments"] == 3.0
+        assert s["balance"] >= 1.0
+        assert s["skew_ratio"] >= 1.0
+
+    def test_balance_definition(self, small_powerlaw):
+        pg = HashPartitioner().partition(small_powerlaw, 4)
+        sizes = pg.sizes()
+        assert balance(pg) == pytest.approx(
+            max(sizes) / (sum(sizes) / len(sizes)))

@@ -1,0 +1,67 @@
+"""Tests for skew measurement and the reshuffling knob (Exp-4)."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import generators
+from repro.partition.edge_cut import HashPartitioner
+from repro.partition.skew import reshuffle_to_skew, skew_ratio
+
+
+class TestSkewRatio:
+    def test_balanced_near_one(self, small_grid):
+        pg = HashPartitioner().partition(small_grid, 4)
+        assert skew_ratio(pg) < 1.6
+
+    def test_single_fragment(self, small_grid):
+        pg = HashPartitioner().partition(small_grid, 1)
+        assert skew_ratio(pg) == 1.0
+
+
+class TestReshuffle:
+    def test_reaches_target(self, small_powerlaw):
+        assignment = HashPartitioner().assign(small_powerlaw, 4)
+        pg = reshuffle_to_skew(small_powerlaw, assignment, 4,
+                               target_ratio=3.0, seed=1)
+        assert skew_ratio(pg) >= 3.0
+
+    def test_heavy_fragment_is_largest(self, small_powerlaw):
+        assignment = HashPartitioner().assign(small_powerlaw, 4)
+        pg = reshuffle_to_skew(small_powerlaw, assignment, 4,
+                               target_ratio=4.0, heavy_fragment=2, seed=1)
+        sizes = pg.sizes()
+        assert sizes[2] == max(sizes)
+
+    def test_preserves_node_coverage(self, small_powerlaw):
+        assignment = HashPartitioner().assign(small_powerlaw, 4)
+        pg = reshuffle_to_skew(small_powerlaw, assignment, 4,
+                               target_ratio=3.0, seed=1)
+        owned = set()
+        for frag in pg:
+            owned |= frag.owned
+        assert owned == set(small_powerlaw.nodes)
+
+    def test_target_one_is_noop_level(self, small_powerlaw):
+        assignment = HashPartitioner().assign(small_powerlaw, 4)
+        pg = reshuffle_to_skew(small_powerlaw, assignment, 4,
+                               target_ratio=1.0, seed=1)
+        base = HashPartitioner().partition(small_powerlaw, 4)
+        assert pg.sizes() == base.sizes()
+
+    def test_invalid_target(self, small_powerlaw):
+        assignment = HashPartitioner().assign(small_powerlaw, 4)
+        with pytest.raises(PartitionError):
+            reshuffle_to_skew(small_powerlaw, assignment, 4,
+                              target_ratio=0.5)
+
+    def test_invalid_heavy_fragment(self, small_powerlaw):
+        assignment = HashPartitioner().assign(small_powerlaw, 4)
+        with pytest.raises(PartitionError):
+            reshuffle_to_skew(small_powerlaw, assignment, 4,
+                              target_ratio=2.0, heavy_fragment=9)
+
+    def test_deterministic(self, small_powerlaw):
+        assignment = HashPartitioner().assign(small_powerlaw, 4)
+        a = reshuffle_to_skew(small_powerlaw, assignment, 4, 3.0, seed=7)
+        b = reshuffle_to_skew(small_powerlaw, assignment, 4, 3.0, seed=7)
+        assert a.sizes() == b.sizes()

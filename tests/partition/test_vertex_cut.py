@@ -1,0 +1,66 @@
+"""Tests for vertex-cut strategies."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.partition.quality import replication_factor
+from repro.partition.vertex_cut import (GreedyVertexCutPartitioner,
+                                        HashEdgePartitioner)
+
+PARTITIONERS = [HashEdgePartitioner(), GreedyVertexCutPartitioner(seed=1)]
+
+
+@pytest.mark.parametrize("partitioner", PARTITIONERS, ids=lambda p: p.name)
+class TestVertexCut:
+    def test_every_edge_assigned_once(self, partitioner, small_powerlaw):
+        pg = partitioner.partition(small_powerlaw, 4)
+        total = sum(f.graph.num_edges for f in pg)
+        assert total == small_powerlaw.num_edges
+
+    def test_every_node_has_owner(self, partitioner, small_powerlaw):
+        pg = partitioner.partition(small_powerlaw, 4)
+        assert set(pg.owner) == set(small_powerlaw.nodes)
+
+    def test_owner_holds_node(self, partitioner, small_powerlaw):
+        pg = partitioner.partition(small_powerlaw, 4)
+        for v, fid in pg.owner.items():
+            assert v in pg.fragments[fid].owned
+
+    def test_replicated_nodes_are_border(self, partitioner, small_powerlaw):
+        pg = partitioner.partition(small_powerlaw, 4)
+        for frag in pg:
+            for v in frag.owned:
+                if frag.locations(v):
+                    assert v in frag.border_nodes
+
+    def test_cut_kind(self, partitioner, small_powerlaw):
+        pg = partitioner.partition(small_powerlaw, 4)
+        assert pg.cut == "vertex"
+
+    def test_isolated_nodes_placed(self, partitioner):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(99)
+        pg = partitioner.partition(g, 2)
+        assert 99 in pg.owner
+
+
+class TestGreedyQuality:
+    def test_greedy_replicates_less_than_hash(self):
+        g = generators.powerlaw(400, m=3, seed=2)
+        hash_pg = HashEdgePartitioner().partition(g, 6)
+        greedy_pg = GreedyVertexCutPartitioner(seed=0).partition(g, 6)
+        assert (replication_factor(greedy_pg)
+                < replication_factor(hash_pg))
+
+    def test_greedy_balances_load(self):
+        g = generators.powerlaw(400, m=3, seed=2)
+        pg = GreedyVertexCutPartitioner(seed=0).partition(g, 4)
+        loads = [f.graph.num_edges for f in pg]
+        assert max(loads) <= 2 * (sum(loads) / len(loads))
+
+    def test_invalid_count(self):
+        with pytest.raises(PartitionError):
+            HashEdgePartitioner().partition(generators.path_graph(4), 0)

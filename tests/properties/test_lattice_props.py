@@ -1,0 +1,91 @@
+"""Property-based aggregator laws.
+
+Lattice aggregators must be idempotent, commutative and associative, and
+their ``combine`` must be a lower bound under ``leq`` — these are what make
+IncEval contracting (T2) and monotonic (T3) for min/max programs.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.aggregators import LatestByVersion, Max, Min, Sum
+
+values = st.integers(-1000, 1000)
+value_lists = st.lists(values, max_size=8)
+
+
+class TestMinLaws:
+    @given(a=values, xs=value_lists)
+    def test_result_is_lower_bound(self, a, xs):
+        r = Min().combine(a, xs)
+        assert Min().leq(r, a)
+        assert all(Min().leq(r, x) for x in xs)
+
+    @given(a=values, xs=value_lists)
+    def test_idempotent(self, a, xs):
+        m = Min()
+        once = m.combine(a, xs)
+        assert m.combine(once, xs) == once
+
+    @given(a=values, xs=value_lists)
+    def test_order_invariant(self, a, xs):
+        m = Min()
+        assert m.combine(a, xs) == m.combine(a, list(reversed(xs)))
+
+    @given(a=values, xs=value_lists, ys=value_lists)
+    def test_associative_split(self, a, xs, ys):
+        m = Min()
+        assert m.combine(a, xs + ys) == m.combine(m.combine(a, xs), ys)
+
+    @given(a=values, b=values, c=values)
+    def test_leq_partial_order(self, a, b, c):
+        m = Min()
+        assert m.leq(a, a)
+        if m.leq(a, b) and m.leq(b, a):
+            assert a == b
+        if m.leq(a, b) and m.leq(b, c):
+            assert m.leq(a, c)
+
+
+class TestMaxLaws:
+    @given(a=values, xs=value_lists)
+    def test_result_is_upper_bound(self, a, xs):
+        r = Max().combine(a, xs)
+        assert Max().leq(r, a)
+        assert all(Max().leq(r, x) for x in xs)
+
+    @given(a=values, xs=value_lists, ys=value_lists)
+    def test_associative_split(self, a, xs, ys):
+        m = Max()
+        assert m.combine(a, xs + ys) == m.combine(m.combine(a, xs), ys)
+
+
+class TestSumLaws:
+    @given(a=values, xs=value_lists)
+    def test_total_preserved(self, a, xs):
+        assert Sum().combine(a, xs) == a + sum(xs)
+
+    @given(a=values, xs=value_lists, ys=value_lists)
+    def test_split_delivery_equivalent(self, a, xs, ys):
+        """Delivering deltas in any batching yields the same total —
+        why ship-and-reset messaging tolerates arbitrary schedules."""
+        s = Sum()
+        assert s.combine(a, xs + ys) == s.combine(s.combine(a, xs), ys)
+
+    @given(a=values)
+    def test_identity(self, a):
+        assert Sum().combine(a, [Sum().identity()]) == a
+
+
+class TestLatestLaws:
+    versioned = st.tuples(st.integers(0, 100), st.text(max_size=4))
+
+    @given(a=versioned, xs=st.lists(versioned, max_size=6))
+    def test_result_has_max_version(self, a, xs):
+        r = LatestByVersion().combine(a, xs)
+        assert r[0] == max([a[0]] + [x[0] for x in xs])
+
+    @given(a=versioned, xs=st.lists(versioned, max_size=6))
+    def test_order_invariant(self, a, xs):
+        agg = LatestByVersion()
+        assert agg.combine(a, xs) == agg.combine(a, list(reversed(xs)))

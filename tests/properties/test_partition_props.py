@@ -1,0 +1,114 @@
+"""Property-based partition invariants.
+
+For every generated graph, partitioner and fragment count, the partition
+must satisfy the structural invariants of Section 2: owned sets partition V,
+every edge is materialised, border sets are consistent with the routing
+index, and fragments are genuine subgraphs of G.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators
+from repro.partition.edge_cut import (BfsPartitioner, GreedyLdgPartitioner,
+                                      HashPartitioner, RangePartitioner)
+from repro.partition.vertex_cut import (GreedyVertexCutPartitioner,
+                                        HashEdgePartitioner)
+
+SETTINGS = dict(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def graph_and_m(draw):
+    seed = draw(st.integers(0, 500))
+    kind = draw(st.sampled_from(["er", "grid", "powerlaw"]))
+    if kind == "er":
+        g = generators.erdos_renyi(draw(st.integers(4, 50)), 0.2,
+                                   directed=draw(st.booleans()), seed=seed)
+    elif kind == "grid":
+        g = generators.grid2d(draw(st.integers(2, 6)),
+                              draw(st.integers(2, 6)), seed=seed)
+    else:
+        g = generators.powerlaw(draw(st.integers(8, 50)), m=2, seed=seed)
+    m = draw(st.integers(1, 6))
+    return g, m
+
+
+EDGE_CUTS = st.sampled_from([HashPartitioner(), RangePartitioner(),
+                             BfsPartitioner(seed=3),
+                             GreedyLdgPartitioner(seed=3)])
+VERTEX_CUTS = st.sampled_from([HashEdgePartitioner(),
+                               GreedyVertexCutPartitioner(seed=3)])
+
+
+def edge_key(g, u, v):
+    if g.directed:
+        return (u, v)
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class TestEdgeCutInvariants:
+    @given(gm=graph_and_m(), partitioner=EDGE_CUTS)
+    @settings(**SETTINGS)
+    def test_invariants(self, gm, partitioner):
+        g, m = gm
+        pg = partitioner.partition(g, m)
+        # owned sets partition V
+        owned = [f.owned for f in pg]
+        assert set().union(*owned) == set(g.nodes)
+        for i in range(len(owned)):
+            for j in range(i + 1, len(owned)):
+                assert not owned[i] & owned[j]
+        # every edge present, weights preserved (subgraph property)
+        seen = set()
+        for f in pg:
+            for u, v, w in f.graph.edges():
+                assert g.weight(u, v) == w
+                seen.add(edge_key(g, u, v))
+        assert seen == {edge_key(g, u, v) for u, v, _ in g.edges()}
+        # routing symmetric with placement
+        for f in pg:
+            for v in f.owned | f.mirrors:
+                locs = f.locations(v)
+                assert f.fid not in locs
+                for j in locs:
+                    other = pg.fragments[j]
+                    assert v in other.owned or v in other.mirrors
+                    assert f.fid in other.locations(v)
+
+    @given(gm=graph_and_m(), partitioner=EDGE_CUTS)
+    @settings(**SETTINGS)
+    def test_border_sets_match_cut_edges(self, gm, partitioner):
+        g, m = gm
+        pg = partitioner.partition(g, m)
+        for u, v, _ in g.edges():
+            fu, fv = pg.owner[u], pg.owner[v]
+            if fu == fv:
+                continue
+            a, b = pg.fragments[fu], pg.fragments[fv]
+            assert u in a.out_border
+            assert v in a.out_copies
+            assert v in b.in_border
+            assert u in b.in_copies
+
+
+class TestVertexCutInvariants:
+    @given(gm=graph_and_m(), partitioner=VERTEX_CUTS)
+    @settings(**SETTINGS)
+    def test_invariants(self, gm, partitioner):
+        g, m = gm
+        pg = partitioner.partition(g, m)
+        # every edge in exactly one fragment
+        total = sum(f.graph.num_edges for f in pg)
+        assert total == g.num_edges
+        # owners exist and hold their nodes
+        for v in g.nodes:
+            fid = pg.owner[v]
+            assert v in pg.fragments[fid].owned
+        # replicas consistent with placement
+        for v, fids in pg.placement.items():
+            for fid in fids:
+                f = pg.fragments[fid]
+                assert v in f.owned or v in f.mirrors

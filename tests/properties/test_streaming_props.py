@@ -1,0 +1,73 @@
+"""Property-based streaming tests: any insertion sequence, applied
+incrementally, must agree with recomputing on the final graph."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import CCProgram, CCQuery, SSSPProgram, SSSPQuery
+from repro.graph import analysis, generators
+from repro.streaming import StreamingSession, UpdateBatch
+
+SETTINGS = dict(max_examples=12, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def insertion_plan(draw):
+    """A base graph plus batches of novel edge insertions."""
+    n = draw(st.integers(8, 40))
+    seed = draw(st.integers(0, 100))
+    base = generators.powerlaw(n, m=2, weighted=True, seed=seed)
+    batches = []
+    next_new = 10_000
+    existing = {frozenset((u, v)) for u, v, _ in base.edges()}
+    for _ in range(draw(st.integers(1, 3))):
+        edges = []
+        for _ in range(draw(st.integers(1, 4))):
+            if draw(st.booleans()):
+                u, v = next_new, draw(st.integers(0, n - 1))
+                next_new += 1
+            else:
+                u = draw(st.integers(0, n - 1))
+                v = draw(st.integers(0, n - 1))
+                if u == v or frozenset((u, v)) in existing:
+                    continue
+            existing.add(frozenset((u, v)))
+            edges.append((u, v, draw(st.floats(0.1, 5.0))))
+        if edges:
+            batches.append(UpdateBatch.of(*edges))
+    return base, batches
+
+
+class TestStreamingConfluence:
+    @given(plan=insertion_plan(), m=st.integers(1, 4))
+    @settings(**SETTINGS)
+    def test_cc_matches_recompute(self, plan, m):
+        base, batches = plan
+        session = StreamingSession(CCProgram(), base, CCQuery(),
+                                   num_fragments=m)
+        reference = base.copy()
+        for batch in batches:
+            session.apply(batch)
+            for u, v, w in batch.insertions:
+                reference.add_edge(u, v, w)
+            assert session.answer == analysis.connected_components(
+                reference)
+
+    @given(plan=insertion_plan(), m=st.integers(1, 4))
+    @settings(**SETTINGS)
+    def test_sssp_matches_recompute(self, plan, m):
+        base, batches = plan
+        source = next(iter(base.nodes))
+        session = StreamingSession(SSSPProgram(), base,
+                                   SSSPQuery(source=source),
+                                   num_fragments=m)
+        reference = base.copy()
+        for batch in batches:
+            session.apply(batch)
+            for u, v, w in batch.insertions:
+                reference.add_edge(u, v, w)
+            ref = analysis.dijkstra(reference, source)
+            for node in ref:
+                assert session.answer[node] == pytest.approx(ref[node])

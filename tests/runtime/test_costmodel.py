@@ -1,0 +1,83 @@
+"""Tests for the cost model."""
+
+import pytest
+
+from repro.errors import RuntimeConfigError
+from repro.runtime.costmodel import CostModel
+
+
+class TestRoundTime:
+    def test_linear_in_work(self):
+        cm = CostModel(alpha=1.0, beta=0.5, msg_cost=0.0, send_cost=0.0)
+        assert cm.round_time(0, 0) == 1.0
+        assert cm.round_time(0, 10) == 6.0
+
+    def test_speed_factor(self):
+        cm = CostModel(alpha=1.0, beta=0.0, speed={2: 4.0})
+        assert cm.round_time(2, 0) == 4.0
+        assert cm.round_time(1, 0) == 1.0
+
+    def test_speed_as_sequence_and_callable(self):
+        cm = CostModel(alpha=1.0, beta=0.0, speed=[1.0, 3.0])
+        assert cm.round_time(1, 0) == 3.0
+        assert cm.round_time(9, 0) == 1.0  # out of range -> nominal
+        cm2 = CostModel(alpha=1.0, beta=0.0, speed=lambda wid: wid + 1.0)
+        assert cm2.round_time(2, 0) == 3.0
+
+    def test_message_handling_costs(self):
+        cm = CostModel(alpha=0.0, beta=0.0, msg_cost=0.5, send_cost=0.25,
+                       min_round_time=0.0)
+        assert cm.round_time(0, 0, batches_consumed=4,
+                             messages_sent=2) == 2.5
+
+    def test_fixed_round_time_overrides(self):
+        cm = CostModel(alpha=9.0, beta=9.0, fixed_round_time={1: 3.0})
+        assert cm.round_time(1, 1000) == 3.0
+        assert cm.round_time(0, 0) == 9.0
+
+    def test_min_round_time(self):
+        cm = CostModel(alpha=0.0, beta=0.0, min_round_time=0.5)
+        assert cm.round_time(0, 0) == 0.5
+
+
+class TestTransfer:
+    def test_latency_only(self):
+        cm = CostModel(latency=0.1, bandwidth=None)
+        assert cm.transfer_time(10_000) == 0.1
+
+    def test_bandwidth(self):
+        cm = CostModel(latency=0.1, bandwidth=100.0)
+        assert cm.transfer_time(50) == pytest.approx(0.6)
+
+    def test_jitter_deterministic(self):
+        a = CostModel(latency=0.1, latency_jitter=0.2, seed=5)
+        b = CostModel(latency=0.1, latency_jitter=0.2, seed=5)
+        assert [a.transfer_time(1) for _ in range(5)] == \
+               [b.transfer_time(1) for _ in range(5)]
+
+    def test_jitter_bounded(self):
+        cm = CostModel(latency=0.1, latency_jitter=0.2, seed=1)
+        for _ in range(50):
+            assert 0.1 <= cm.transfer_time(1) <= 0.3 + 1e-12
+
+
+class TestValidation:
+    def test_negative_params(self):
+        with pytest.raises(RuntimeConfigError):
+            CostModel(alpha=-1)
+        with pytest.raises(RuntimeConfigError):
+            CostModel(msg_cost=-0.1)
+        with pytest.raises(RuntimeConfigError):
+            CostModel(bandwidth=0)
+
+    def test_with_straggler_constructor(self):
+        cm = CostModel.with_straggler(3, factor=5.0)
+        assert cm.speed(3) == 5.0
+        assert cm.speed(0) == 1.0
+        with pytest.raises(RuntimeConfigError):
+            CostModel.with_straggler(0, factor=0.0)
+
+    def test_uniform_constructor(self):
+        cm = CostModel.uniform(alpha=2.0)
+        assert cm.speed(0) == 1.0
+        assert cm.alpha == 2.0

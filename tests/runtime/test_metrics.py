@@ -1,0 +1,57 @@
+"""Tests for run metrics aggregation."""
+
+import pytest
+
+from repro.runtime.metrics import RunMetrics, WorkerMetrics
+
+
+def worker(wid, **kwargs):
+    defaults = dict(rounds=2, busy_time=1.0, idle_time=0.5,
+                    suspended_time=0.25, messages_sent=3, bytes_sent=100,
+                    work_done=10)
+    defaults.update(kwargs)
+    return WorkerMetrics(wid=wid, **defaults)
+
+
+class TestAggregation:
+    def test_totals(self):
+        m = RunMetrics.from_workers([worker(0), worker(1)], makespan=5.0)
+        assert m.makespan == 5.0
+        assert m.total_busy == 2.0
+        assert m.total_idle == 1.0
+        assert m.total_suspended == 0.5
+        assert m.total_messages == 6
+        assert m.total_bytes == 200
+        assert m.total_work == 20
+        assert m.total_rounds == 4
+
+    def test_max_rounds(self):
+        m = RunMetrics.from_workers([worker(0, rounds=2),
+                                     worker(1, rounds=9)], makespan=1.0)
+        assert m.max_rounds == 9
+
+    def test_empty(self):
+        m = RunMetrics.from_workers([], makespan=0.0)
+        assert m.max_rounds == 0
+        assert m.idle_ratio == 0.0
+        assert m.straggler_rounds() == 0
+
+    def test_idle_ratio(self):
+        m = RunMetrics.from_workers(
+            [worker(0, busy_time=3.0, idle_time=1.0, suspended_time=0.0)],
+            makespan=4.0)
+        assert m.idle_ratio == pytest.approx(0.25)
+
+    def test_straggler_rounds(self):
+        m = RunMetrics.from_workers(
+            [worker(0, busy_time=10.0, rounds=4),
+             worker(1, busy_time=1.0, rounds=40)], makespan=10.0)
+        assert m.straggler_rounds() == 4
+
+    def test_summary_keys(self):
+        m = RunMetrics.from_workers([worker(0)], makespan=2.0)
+        s = m.summary()
+        for key in ("makespan", "total_busy", "total_idle", "idle_ratio",
+                    "total_messages", "total_bytes", "total_work",
+                    "total_rounds", "max_rounds"):
+            assert key in s

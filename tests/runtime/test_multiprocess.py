@@ -1,0 +1,60 @@
+"""Tests for the multiprocessing runtime (true cross-process execution)."""
+
+import pytest
+
+from repro import api
+from repro.algorithms import (CCProgram, CCQuery, PageRankProgram,
+                              PageRankQuery, SSSPProgram, SSSPQuery)
+from repro.errors import RuntimeConfigError
+from repro.graph import analysis, generators
+from repro.runtime.multiprocess import MultiprocessRuntime
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.powerlaw(300, m=2, weighted=True, seed=3)
+
+
+@pytest.fixture(scope="module")
+def pg(graph):
+    return api.partition_graph(graph, 4)
+
+
+@pytest.mark.parametrize("mode", ["AP", "AAP", "BSP"])
+class TestCorrectness:
+    def test_cc(self, graph, pg, mode):
+        r = MultiprocessRuntime(CCProgram(), pg, CCQuery(), mode=mode,
+                                timeout=90).run()
+        assert r.answer == analysis.connected_components(graph)
+        assert r.mode == f"{mode}-multiprocess"
+
+    def test_sssp(self, graph, pg, mode):
+        r = MultiprocessRuntime(SSSPProgram(), pg, SSSPQuery(source=0),
+                                mode=mode, timeout=90).run()
+        ref = analysis.dijkstra(graph, 0)
+        assert all(r.answer[v] == pytest.approx(ref[v]) for v in ref)
+
+
+class TestPageRankMp:
+    def test_pagerank_ap(self, graph, pg):
+        r = MultiprocessRuntime(
+            PageRankProgram(), pg,
+            PageRankQuery(epsilon=1e-3, num_nodes=graph.num_nodes),
+            mode="AP", timeout=90).run()
+        ref = analysis.pagerank(graph, epsilon=1e-10)
+        for v in ref:
+            assert r.answer[v] == pytest.approx(ref[v], abs=5e-3)
+
+
+class TestMechanics:
+    def test_unknown_mode(self, pg):
+        with pytest.raises(RuntimeConfigError):
+            MultiprocessRuntime(CCProgram(), pg, CCQuery(), mode="SSP")
+
+    def test_metrics_reported(self, graph, pg):
+        r = MultiprocessRuntime(CCProgram(), pg, CCQuery(), mode="AP",
+                                timeout=90).run()
+        assert r.metrics.total_messages > 0
+        assert r.metrics.total_bytes > 0
+        assert all(rounds >= 1 for rounds in r.rounds)
+        assert r.metrics.makespan > 0

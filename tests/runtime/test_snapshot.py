@@ -1,0 +1,99 @@
+"""Tests for Chandy-Lamport snapshots and checkpoint recovery."""
+
+import pytest
+
+from repro.algorithms import (CCProgram, CCQuery, PageRankProgram,
+                              PageRankQuery, SSSPProgram, SSSPQuery)
+from repro.core.engine import Engine
+from repro.core.modes import make_policy
+from repro.errors import SnapshotError
+from repro.graph import analysis
+from repro.partition.edge_cut import HashPartitioner
+from repro.runtime.costmodel import CostModel
+from repro.runtime.faults import (recover_from_snapshot, run_with_checkpoint,
+                                  run_with_failure)
+from repro.runtime.simulator import SimulatedRuntime
+from repro.runtime.snapshot import ChandyLamportCoordinator, GlobalSnapshot
+
+
+@pytest.fixture
+def pg(small_powerlaw):
+    return HashPartitioner().partition(small_powerlaw, 4)
+
+
+class TestSnapshotMechanics:
+    def test_all_workers_recorded(self, pg):
+        report = run_with_checkpoint(
+            lambda: Engine(CCProgram(), pg, CCQuery()),
+            lambda: make_policy("AP"), checkpoint_time=1.0)
+        assert report.snapshot.num_workers_recorded == 4
+        assert report.snapshot.complete
+
+    def test_snapshot_does_not_change_answer(self, pg, small_powerlaw):
+        report = run_with_checkpoint(
+            lambda: Engine(CCProgram(), pg, CCQuery()),
+            lambda: make_policy("AAP"), checkpoint_time=2.0)
+        assert report.result.answer == analysis.connected_components(
+            small_powerlaw)
+
+    def test_finalize_without_initiation(self):
+        with pytest.raises(SnapshotError):
+            ChandyLamportCoordinator().finalize()
+
+    def test_token_stamping(self, pg):
+        coord = ChandyLamportCoordinator(token=7)
+        engine = Engine(SSSPProgram(), pg, SSSPQuery(source=0))
+        runtime = SimulatedRuntime(engine, make_policy("AP"),
+                                   snapshot_coordinator=coord)
+        coord.request_at(runtime, time=0.5)
+        runtime.run()
+        snap = coord.finalize()
+        # every message recorded in channel state lacks the token
+        for msgs in snap.channel_messages.values():
+            assert all(m.token != 7 for m in msgs)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("checkpoint_time", [0.5, 2.0, 10.0])
+    def test_cc_recovers_to_same_answer(self, pg, small_powerlaw,
+                                        checkpoint_time):
+        report = run_with_failure(
+            lambda: Engine(CCProgram(), pg, CCQuery()),
+            lambda: make_policy("AAP"), checkpoint_time=checkpoint_time)
+        assert report.failed
+        assert report.result.answer == analysis.connected_components(
+            small_powerlaw)
+
+    def test_sssp_recovers(self, pg, small_powerlaw):
+        ref = analysis.dijkstra(small_powerlaw, 0)
+        report = run_with_failure(
+            lambda: Engine(SSSPProgram(), pg, SSSPQuery(source=0)),
+            lambda: make_policy("AP"), checkpoint_time=1.0,
+            cost_model_factory=lambda: CostModel(seed=2))
+        assert all(report.result.answer[v] == pytest.approx(ref[v])
+                   for v in ref)
+
+    def test_pagerank_recovers_within_tolerance(self, pg, small_powerlaw):
+        ref = analysis.pagerank(small_powerlaw, epsilon=1e-10)
+        report = run_with_failure(
+            lambda: Engine(PageRankProgram(), pg,
+                           PageRankQuery(epsilon=1e-4)),
+            lambda: make_policy("AAP"), checkpoint_time=3.0)
+        for v in ref:
+            assert report.result.answer[v] == pytest.approx(ref[v],
+                                                            abs=2e-3)
+
+    def test_recover_from_empty_snapshot_rejected(self, pg):
+        with pytest.raises(SnapshotError):
+            recover_from_snapshot(
+                lambda: Engine(CCProgram(), pg, CCQuery()),
+                lambda: make_policy("AAP"), GlobalSnapshot(token=1))
+
+    def test_late_checkpoint_snapshots_fixpoint(self, pg, small_powerlaw):
+        # checkpoint far after convergence: recovery starts quiescent and
+        # still assembles the right answer
+        report = run_with_failure(
+            lambda: Engine(CCProgram(), pg, CCQuery()),
+            lambda: make_policy("BSP"), checkpoint_time=10_000.0)
+        assert report.result.answer == analysis.connected_components(
+            small_powerlaw)

@@ -1,0 +1,65 @@
+"""Tests for trace recording and the ASCII Gantt rendering."""
+
+from repro.runtime.trace import Interval, TraceRecorder, ascii_gantt
+
+
+class TestRecorder:
+    def test_records_intervals(self):
+        tr = TraceRecorder()
+        tr.record(0, 0.0, 2.0, "peval", 0)
+        tr.record(0, 3.0, 4.0, "inceval", 1)
+        assert len(tr.intervals) == 2
+        assert tr.makespan() == 4.0
+        assert tr.busy_time(0) == 3.0
+        assert tr.rounds(0) == 2
+
+    def test_zero_length_skipped(self):
+        tr = TraceRecorder()
+        tr.record(0, 1.0, 1.0, "inceval", 0)
+        assert tr.intervals == []
+
+    def test_disabled(self):
+        tr = TraceRecorder(enabled=False)
+        tr.record(0, 0.0, 1.0, "peval", 0)
+        assert tr.intervals == []
+
+    def test_by_worker_sorted(self):
+        tr = TraceRecorder()
+        tr.record(1, 5.0, 6.0, "inceval", 2)
+        tr.record(1, 0.0, 1.0, "peval", 0)
+        per = tr.by_worker()
+        assert [iv.start for iv in per[1]] == [0.0, 5.0]
+
+    def test_suspended_not_busy(self):
+        tr = TraceRecorder()
+        tr.record(2, 0.0, 1.0, "suspended", 0)
+        assert tr.busy_time(2) == 0.0
+        assert tr.rounds(2) == 0
+
+
+class TestGantt:
+    def test_renders_all_workers(self):
+        tr = TraceRecorder()
+        tr.record(0, 0.0, 5.0, "peval", 0)
+        tr.record(1, 0.0, 10.0, "inceval", 0)
+        art = ascii_gantt(tr, width=40, label="demo")
+        lines = art.splitlines()
+        assert lines[0].startswith("demo")
+        assert lines[1].startswith("P0")
+        assert lines[2].startswith("P1")
+        assert "P" in lines[1]
+        assert "#" in lines[2]
+
+    def test_empty_trace(self):
+        assert "(empty trace)" in ascii_gantt(TraceRecorder(), label="x")
+
+    def test_width_respected(self):
+        tr = TraceRecorder()
+        tr.record(0, 0.0, 1.0, "peval", 0)
+        art = ascii_gantt(tr, width=30)
+        row = art.splitlines()[-1]
+        assert len(row) == len("P0  |") + 30 + 1
+
+    def test_interval_duration(self):
+        iv = Interval(0, 1.0, 3.5, "inceval", 2)
+        assert iv.duration == 2.5
