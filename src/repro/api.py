@@ -53,6 +53,7 @@ def run(program: PIEProgram, graph_or_partition: Union[Graph,
         hosts: Optional[Sequence[int]] = None,
         staleness_bound: Optional[int] = None,
         record_trace: bool = True,
+        observer: Optional[Any] = None,
         **policy_kwargs: Any) -> RunResult:
     """Parallelise ``program`` on ``graph`` under one parallel model.
 
@@ -60,6 +61,8 @@ def run(program: PIEProgram, graph_or_partition: Union[Graph,
     existing :class:`PartitionedGraph`.  ``policy`` overrides ``mode``.
     When the program declares :attr:`PIEProgram.needs_bounded_staleness`
     and no bound is given, its default bound is applied (the paper: CF).
+    ``observer`` (a :class:`repro.obs.Observer`) enables structured event
+    and metrics recording; the default ``None`` records nothing.
     """
     if isinstance(graph_or_partition, PartitionedGraph):
         pg = graph_or_partition
@@ -76,7 +79,8 @@ def run(program: PIEProgram, graph_or_partition: Union[Graph,
                              **policy_kwargs)
     engine = Engine(program, pg, query)
     runtime = SimulatedRuntime(engine, policy, cost_model=cost_model,
-                               hosts=hosts, record_trace=record_trace)
+                               hosts=hosts, record_trace=record_trace,
+                               observer=observer)
     return runtime.run()
 
 

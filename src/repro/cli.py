@@ -7,6 +7,8 @@
     repro bench --experiment table1
     repro verify --algorithm sssp --graph powerlaw:200
     repro info  --graph grid:30x30 -m 8 --partitioner bfs
+    repro trace --algorithm sssp --graph grid:20x20 --mode AAP \
+                --out trace.json --jsonl events.jsonl --explain 0
 
 Graph specs: ``grid:RxC``, ``powerlaw:N``, ``er:N:P``, ``smallworld:N``,
 ``rmat:SCALE``, ``path:N``, or ``file:PATH`` (edge list).
@@ -134,6 +136,45 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Run one workload with observability on and export the event stream."""
+    from repro.obs import Observer, explain_delays, write_chrome_trace, \
+        write_jsonl
+    graph = parse_graph(args.graph, seed=args.seed)
+    program, query = build_program(args.algorithm, graph, args.source)
+    partitioner = PARTITIONERS[args.partitioner]()
+    observer = Observer()
+    pg = api.partition_graph(graph, args.fragments, partitioner)
+    if args.runtime == "simulated":
+        result = api.run(program, pg, query, mode=args.mode,
+                         cost_model=_cost_model(args), observer=observer)
+    elif args.runtime == "threaded":
+        from repro.core.engine import Engine
+        from repro.core.modes import make_policy
+        from repro.runtime.threaded import ThreadedRuntime
+        result = ThreadedRuntime(Engine(program, pg, query),
+                                 make_policy(args.mode),
+                                 observer=observer).run()
+    else:  # multiprocess
+        from repro.runtime.multiprocess import MultiprocessRuntime
+        result = MultiprocessRuntime(program, pg, query, mode=args.mode,
+                                     observer=observer).run()
+    write_chrome_trace(observer.log, args.out,
+                       process_name=f"repro {args.algorithm} {args.mode}")
+    out = _summarise(result)
+    out["trace"] = args.out
+    out["events"] = observer.log.counts()
+    if args.jsonl:
+        write_jsonl(observer.log, args.jsonl)
+        out["jsonl"] = args.jsonl
+    print(json.dumps(out, indent=2))
+    if args.explain is not None:
+        for line in explain_delays(observer.log, wid=args.explain,
+                                   limit=args.explain_limit):
+            print(line)
+    return 0
+
+
 def cmd_compare(args) -> int:
     graph = parse_graph(args.graph, seed=args.seed)
     program, query = build_program(args.algorithm, graph, args.source)
@@ -243,6 +284,23 @@ def make_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="run under every parallel model")
     common(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_tr = sub.add_parser(
+        "trace", help="run with observability on; export Chrome trace/JSONL")
+    common(p_tr)
+    p_tr.add_argument("--mode", default="AAP", choices=list(MODES))
+    p_tr.add_argument("--runtime", default="simulated",
+                      choices=["simulated", "threaded", "multiprocess"])
+    p_tr.add_argument("--out", default="trace.json",
+                      help="Chrome trace_event JSON output path "
+                           "(open in chrome://tracing or Perfetto)")
+    p_tr.add_argument("--jsonl", default=None,
+                      help="also dump raw events as JSON Lines here")
+    p_tr.add_argument("--explain", type=int, default=None, metavar="WID",
+                      help="print the delay-decision audit for worker WID")
+    p_tr.add_argument("--explain-limit", type=int, default=20,
+                      help="max audit lines to print")
+    p_tr.set_defaults(func=cmd_trace)
 
     p_ver = sub.add_parser("verify",
                            help="check T1/T2 + Church-Rosser empirically")

@@ -29,7 +29,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import RuntimeConfigError
 
@@ -80,6 +80,17 @@ class DelayPolicy(abc.ABC):
     def delay(self, view: WorkerView) -> float:
         """Return ``DS_i`` in time units; ``math.inf`` means "suspend until
         the next state change re-evaluates the policy"."""
+
+    def decide(self, view: WorkerView) -> Tuple[float, Dict[str, Any]]:
+        """``DS_i`` plus the decision's audit details.
+
+        The observability layer records these as ``ds_decision`` events
+        ("why did worker *i* wait?").  The default wraps :meth:`delay`;
+        policies with interesting internals (AAP) override it, and their
+        :meth:`delay` must return exactly ``decide(view)[0]`` so attaching
+        an observer never changes scheduling.
+        """
+        return self.delay(view), {}
 
     def on_round_complete(self, view: WorkerView, duration: float) -> None:
         """Hook invoked when any worker finishes a round (for Hsync)."""
@@ -192,10 +203,13 @@ class AAPPolicy(DelayPolicy):
                    self.l_bottom_fraction * max(num_peers, 1))
 
     def delay(self, view: WorkerView) -> float:
+        return self.decide(view)[0]
+
+    def decide(self, view: WorkerView) -> Tuple[float, Dict[str, Any]]:
         if not self._s_predicate(view.round, view.rmin, view.rmax):
-            return INF
+            return INF, {"reason": "predicate_false"}
         if view.eta == 0:
-            return INF
+            return INF, {"reason": "empty_buffer"}
         l_bottom = self.effective_l_bottom(view.num_peers)
         s = view.s_pred
         target = l_bottom
@@ -206,19 +220,21 @@ class AAPPolicy(DelayPolicy):
                                         view.fleet_avg_round_time)
         if s > 0 and not math.isinf(s) and s > view.fleet_avg_rate:
             target = max(view.eta, l_bottom) + window * s
+        why = {"l_bottom": l_bottom, "target": target, "window": window}
         if view.eta >= target:
-            return 0.0
+            return 0.0, {"reason": "target_met", **why}
         if s <= 0.0 or math.isinf(s):
             # no (finite) arrival estimate: do not hold the worker hostage
-            return 0.0
+            return 0.0, {"reason": "no_arrival_estimate", **why}
         if s * window < 1.0:
             # Example 4's rule: no messages are predicted to arrive within
             # the accumulation window, so waiting cannot pay off
-            return 0.0
+            return 0.0, {"reason": "window_below_one_message", **why}
         t_wait = (target - view.eta) / s
         t_wait = min(t_wait, self.wait_cap_fraction
                      * min(view.t_pred, view.fleet_avg_round_time))
-        return max(t_wait - view.idle_time, 0.0)
+        return max(t_wait - view.idle_time, 0.0), \
+            {"reason": "accumulate", **why}
 
     def __repr__(self) -> str:
         return (f"AAPPolicy(L_bottom={self.l_bottom}, "

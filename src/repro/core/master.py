@@ -33,11 +33,36 @@ class TerminationMaster:
         self._inactive = [False] * num_workers
         self._in_flight = 0
         self._terminated = False
+        self._errors: List[BaseException] = []
         self.attempts = 0
 
     # ------------------------------------------------------------------
     # worker-side API
     # ------------------------------------------------------------------
+    def abort(self, exc: BaseException) -> None:
+        """A worker crashed: record the error and release everybody.
+
+        Termination is forced immediately so the run surfaces the failure
+        promptly instead of stalling until the master's timeout.  The first
+        recorded error is the one the runtime re-raises; concurrent failures
+        are kept (:attr:`errors`) as context instead of overwriting it.
+        """
+        with self._lock:
+            self._errors.append(exc)
+            self._terminated = True
+            self._lock.notify_all()
+
+    @property
+    def aborted(self) -> bool:
+        with self._lock:
+            return bool(self._errors)
+
+    @property
+    def errors(self) -> List[BaseException]:
+        """All recorded worker errors, first failure first."""
+        with self._lock:
+            return list(self._errors)
+
     def set_inactive(self, wid: int) -> None:
         """Worker ``wid`` reports an empty buffer after a round."""
         with self._lock:

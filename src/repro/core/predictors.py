@@ -11,6 +11,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+#: ceiling on any predicted arrival rate.  Two message batches delivered at
+#: the same timestamp (one round fanning out to the same worker, or the
+#: simulator's zero-latency paths) drive the smoothed gap to 0; an infinite
+#: rate would flow into ``WorkerView.s_pred`` and poison the Eq. 1
+#: arithmetic, so the reciprocal is clamped to a large finite value instead.
+MAX_ARRIVAL_RATE = 1e6
+
 
 class Ema:
     """Exponential moving average with bias-corrected warm-up."""
@@ -62,15 +69,21 @@ class ArrivalRatePredictor:
     """Predicts ``s_i``, the message arrival rate at a worker.
 
     Tracks inter-arrival gaps of message batches; the rate is the reciprocal
-    of the smoothed gap.  A worker that has seen fewer than two messages has
-    an unknown rate (:meth:`predict` returns 0, meaning "no more expected").
+    of the smoothed gap, clamped to ``max_rate`` so simultaneous deliveries
+    (gap 0) yield a large-but-finite estimate.  A worker that has seen fewer
+    than two messages has an unknown rate (:meth:`predict` returns 0,
+    meaning "no more expected").
     """
 
-    __slots__ = ("_ema_gap", "_last_arrival")
+    __slots__ = ("_ema_gap", "_last_arrival", "max_rate")
 
-    def __init__(self, alpha: float = 0.5):
+    def __init__(self, alpha: float = 0.5,
+                 max_rate: float = MAX_ARRIVAL_RATE):
+        if max_rate <= 0:
+            raise ValueError(f"max_rate must be > 0, got {max_rate}")
         self._ema_gap = Ema(alpha)
         self._last_arrival: Optional[float] = None
+        self.max_rate = max_rate
 
     def observe_arrival(self, now: float) -> None:
         if self._last_arrival is not None:
@@ -83,6 +96,6 @@ class ArrivalRatePredictor:
         gap = self._ema_gap.value
         if gap is None:
             return 0.0
-        if gap <= 0.0:
-            return float("inf")
+        if gap <= 1.0 / self.max_rate:
+            return self.max_rate
         return 1.0 / gap

@@ -1,0 +1,60 @@
+"""Unified observability layer shared by every runtime (paper, Section 6).
+
+GRAPE+'s statistics collector is what makes adaptive DS adjustment — and the
+paper's Fig. 1 / Fig. 7 analyses — possible.  This package provides its
+reproduction-side equivalent as three composable pieces:
+
+- :class:`~repro.obs.events.EventLog` — typed, timestamped event records
+  (``round_start``, ``round_end``, ``msg_send``, ``msg_deliver``,
+  ``ds_decision``, ``status_change``, ``barrier``, ``terminate_probe``)
+  emitted by the simulated, threaded and multiprocess runtimes behind a
+  zero-overhead-when-disabled hook (runtimes hold ``observer=None`` by
+  default and guard every emission).
+- :class:`~repro.obs.registry.MetricsRegistry` — named counters, gauges and
+  histograms with an optional per-worker label; :class:`~repro.runtime.
+  metrics.RunMetrics` is built on top of it, so all runtimes report the
+  same schema.
+- Exporters — Chrome ``trace_event`` JSON (:func:`~repro.obs.export.
+  to_chrome_trace`, loadable in ``chrome://tracing`` / Perfetto) and a
+  JSONL dump, plus the delay-decision audit ("why did worker *i* wait?").
+
+See ``docs/observability.md`` for the event schema and usage.
+"""
+
+from repro.obs.audit import explain_delays
+from repro.obs.events import (BARRIER, DS_DECISION, EVENT_TYPES, MSG_DELIVER,
+                              MSG_SEND, ROUND_END, ROUND_START, SCHEMA,
+                              STATUS_CHANGE, TERMINATE_PROBE, EventLog,
+                              ObsEvent)
+from repro.obs.export import (read_jsonl, to_chrome_trace, write_chrome_trace,
+                              write_jsonl)
+from repro.obs.registry import (Counter, Gauge, Histogram, MetricsRegistry)
+
+
+class Observer:
+    """Bundle of one run's event log and metrics registry.
+
+    Runtimes accept ``observer=None`` (the default: no recording, zero
+    overhead) or an :class:`Observer`; after the run, ``observer.log`` holds
+    the event stream and ``observer.metrics`` the populated registry.
+    """
+
+    __slots__ = ("log", "metrics")
+
+    def __init__(self, log: EventLog = None,
+                 metrics: MetricsRegistry = None):
+        self.log = log if log is not None else EventLog()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def __repr__(self) -> str:
+        return (f"Observer(events={len(self.log.events)}, "
+                f"metrics={len(self.metrics.names())})")
+
+
+__all__ = [
+    "Observer", "EventLog", "ObsEvent", "MetricsRegistry", "Counter",
+    "Gauge", "Histogram", "to_chrome_trace", "write_chrome_trace",
+    "write_jsonl", "read_jsonl", "explain_delays", "EVENT_TYPES", "SCHEMA",
+    "ROUND_START", "ROUND_END", "MSG_SEND", "MSG_DELIVER", "DS_DECISION",
+    "STATUS_CHANGE", "BARRIER", "TERMINATE_PROBE",
+]

@@ -1,0 +1,49 @@
+"""Delay-policy decision audit: *why did worker i wait?*
+
+Every time a runtime consults its :class:`~repro.core.delay.DelayPolicy`,
+it records a ``ds_decision`` event carrying the Eq. 1 inputs (``eta``,
+``t_pred``, ``s_pred``, ``r_min``/``r_max``, ``T_idle``), the resulting
+``DS_i`` and the action taken.  This module renders those records as a
+human-readable audit trail.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.obs.events import DS_DECISION, EventLog
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if math.isinf(v):
+            return "inf"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def explain_delays(log: EventLog, wid: Optional[int] = None,
+                   limit: Optional[int] = None) -> List[str]:
+    """One line per ``ds_decision``, newest last.
+
+    ``wid`` restricts the audit to one worker; ``limit`` keeps only the last
+    N decisions.
+    """
+    lines = []
+    for e in log.filter(type=DS_DECISION, wid=wid):
+        p = e.payload
+        reason = p.get("reason") or ""
+        reason = f" [{reason}]" if reason else ""
+        lines.append(
+            f"t={_fmt(e.t)} P{e.wid} r{e.round}: {p.get('action', '?')} "
+            f"DS={_fmt(p.get('ds', '?'))}{reason} "
+            f"(eta={_fmt(p.get('eta', '?'))}, "
+            f"t_pred={_fmt(p.get('t_pred', '?'))}, "
+            f"s_pred={_fmt(p.get('s_pred', '?'))}, "
+            f"r_min/r_max={_fmt(p.get('rmin', '?'))}/"
+            f"{_fmt(p.get('rmax', '?'))}, "
+            f"T_idle={_fmt(p.get('t_idle', '?'))})")
+    if limit is not None:
+        lines = lines[-limit:]
+    return lines

@@ -1,0 +1,134 @@
+"""Typed event records and the append-only event log.
+
+Every runtime emits the same record types with the same payload keys, so a
+run on the simulator, the threaded runtime or the multiprocess runtime can
+be analysed (and exported) with the same tooling.  The canonical payload
+schema lives in :data:`SCHEMA`; the tests assert every runtime conforms.
+
+Timestamps are in the emitting runtime's time base: simulated time units for
+:class:`~repro.runtime.simulator.SimulatedRuntime`, seconds since run start
+for the wall-clock runtimes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+#: a worker begins PEval or IncEval
+ROUND_START = "round_start"
+#: a worker finished a round; its messages become visible
+ROUND_END = "round_end"
+#: a designated message leaves its producer (wid = sender)
+MSG_SEND = "msg_send"
+#: a designated message lands in the destination buffer (wid = receiver)
+MSG_DELIVER = "msg_deliver"
+#: a delay policy was consulted; carries the Eq. 1 inputs and the verdict
+DS_DECISION = "ds_decision"
+#: a worker's lifecycle status changed
+STATUS_CHANGE = "status_change"
+#: a global synchronisation point (BSP superstep boundary)
+BARRIER = "barrier"
+#: the master probed for termination (the terminate/ack-or-wait exchange)
+TERMINATE_PROBE = "terminate_probe"
+
+EVENT_TYPES = (ROUND_START, ROUND_END, MSG_SEND, MSG_DELIVER, DS_DECISION,
+               STATUS_CHANGE, BARRIER, TERMINATE_PROBE)
+
+#: canonical payload keys per event type (shared by every runtime)
+SCHEMA: Dict[str, tuple] = {
+    ROUND_START: ("kind", "batches"),
+    ROUND_END: ("kind", "duration", "messages"),
+    MSG_SEND: ("dst", "bytes", "seq"),
+    MSG_DELIVER: ("src", "bytes", "seq", "depth"),
+    DS_DECISION: ("ds", "action", "eta", "t_pred", "s_pred", "rmin", "rmax",
+                  "t_idle", "reason"),
+    STATUS_CHANGE: ("frm", "to"),
+    BARRIER: ("step",),
+    TERMINATE_PROBE: ("result",),
+}
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One structured observability record."""
+
+    type: str
+    #: timestamp in the emitting runtime's time base
+    t: float
+    #: worker the event concerns (-1 for run-global events)
+    wid: int = -1
+    #: the worker's round counter when the event fired (-1 when n/a)
+    round: int = -1
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": self.type, "t": self.t, "wid": self.wid,
+                "round": self.round, "payload": dict(self.payload)}
+
+
+class EventLog:
+    """Append-only, thread-safe log of :class:`ObsEvent` records.
+
+    The hot-path contract is that runtimes never call :meth:`emit` unless an
+    observer was attached, so a disabled run pays nothing; when enabled the
+    per-emit cost is one lock acquisition and one list append.
+    """
+
+    __slots__ = ("events", "_lock")
+
+    def __init__(self):
+        self.events: List[ObsEvent] = []
+        self._lock = threading.Lock()
+
+    def emit(self, type: str, t: float, wid: int = -1,
+             round: int = -1, **payload: Any) -> None:
+        with self._lock:
+            self.events.append(ObsEvent(type=type, t=t, wid=wid,
+                                        round=round, payload=payload))
+
+    def append(self, event: ObsEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    def extend(self, events) -> None:
+        with self._lock:
+            self.events.extend(events)
+
+    # ------------------------------------------------------------------
+    def filter(self, type: Optional[str] = None,
+               wid: Optional[int] = None) -> List[ObsEvent]:
+        return [e for e in self.events
+                if (type is None or e.type == type)
+                and (wid is None or e.wid == wid)]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.type] = out.get(e.type, 0) + 1
+        return out
+
+    def types(self) -> set:
+        return {e.type for e in self.events}
+
+    def payload_keys(self) -> Dict[str, set]:
+        """Observed payload-key sets per event type (schema introspection)."""
+        out: Dict[str, set] = {}
+        for e in self.events:
+            out.setdefault(e.type, set()).update(e.payload)
+        return out
+
+    def sort(self) -> None:
+        """Order records by timestamp (stable); for merged worker logs."""
+        with self._lock:
+            self.events.sort(key=lambda e: e.t)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ObsEvent]:
+        return iter(list(self.events))
+
+    def __repr__(self) -> str:
+        return f"EventLog({len(self.events)} events)"

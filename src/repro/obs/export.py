@@ -1,0 +1,111 @@
+"""Exporters: Chrome ``trace_event`` JSON and JSONL event dumps.
+
+The Chrome format (one JSON document with a ``traceEvents`` array) loads
+directly in ``chrome://tracing`` and in Perfetto's legacy-trace importer
+(https://ui.perfetto.dev → "Open trace file").  Rounds become complete
+("X") slices on one track per worker; everything else becomes instant
+("i") events on the same track; buffer depth additionally becomes a
+counter ("C") series, so the staleness build-up the delay policies react
+to is visible as a graph above the timeline.
+
+Simulated time units are mapped 1:1 onto microseconds (the viewer's native
+unit); wall-clock runtimes record seconds, which are scaled likewise.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.events import (BARRIER, MSG_DELIVER, ROUND_END, ROUND_START,
+                              EventLog, ObsEvent)
+
+#: timestamp scale: event-log time units -> trace microseconds
+_TS_SCALE = 1e6
+
+
+def to_chrome_trace(log: EventLog, process_name: str = "repro",
+                    time_scale: float = _TS_SCALE) -> Dict[str, Any]:
+    """Convert an event log into a Chrome ``trace_event`` document.
+
+    Each worker is one thread (track) of one process; ``round_start`` /
+    ``round_end`` pairs become duration slices named after the round kind
+    (``peval`` / ``inceval``).
+    """
+    events: List[Dict[str, Any]] = []
+    events.append({"ph": "M", "pid": 0, "tid": 0,
+                   "name": "process_name",
+                   "args": {"name": process_name}})
+    wids = sorted({e.wid for e in log.events if e.wid >= 0})
+    for wid in wids:
+        events.append({"ph": "M", "pid": 0, "tid": wid,
+                       "name": "thread_name",
+                       "args": {"name": f"worker {wid}"}})
+    open_rounds: Dict[int, ObsEvent] = {}
+    for e in log.events:
+        ts = e.t * time_scale
+        if e.type == ROUND_START:
+            open_rounds[e.wid] = e
+            continue
+        if e.type == ROUND_END:
+            start = open_rounds.pop(e.wid, None)
+            begin = start.t * time_scale if start is not None \
+                else ts - e.payload.get("duration", 0.0) * time_scale
+            events.append({
+                "ph": "X", "pid": 0, "tid": e.wid,
+                "name": e.payload.get("kind", "round"),
+                "cat": "round", "ts": begin, "dur": max(ts - begin, 0.0),
+                "args": {"round": e.round, **e.payload}})
+            continue
+        tid = e.wid if e.wid >= 0 else 0
+        scope = "g" if e.type == BARRIER else "t"
+        events.append({
+            "ph": "i", "pid": 0, "tid": tid, "name": e.type,
+            "cat": e.type, "ts": ts, "s": scope,
+            "args": {"round": e.round, **e.payload}})
+        if e.type == MSG_DELIVER:
+            events.append({
+                "ph": "C", "pid": 0, "tid": tid,
+                "name": f"buffer_depth_w{e.wid}", "ts": ts,
+                "args": {"depth": e.payload.get("depth", 0)}})
+    # rounds still open at export time (e.g. a crashed run) become slices
+    # ending at the last known timestamp
+    last_ts = max((e.t for e in log.events), default=0.0) * time_scale
+    for wid, start in open_rounds.items():
+        events.append({
+            "ph": "X", "pid": 0, "tid": wid,
+            "name": start.payload.get("kind", "round"), "cat": "round",
+            "ts": start.t * time_scale,
+            "dur": max(last_ts - start.t * time_scale, 0.0),
+            "args": {"round": start.round, "unfinished": True}})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(log: EventLog, path: str,
+                       process_name: str = "repro") -> None:
+    """Write the Chrome-trace JSON document to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(log, process_name=process_name), fh)
+
+
+def write_jsonl(log: EventLog, path: str) -> None:
+    """Dump the log as JSON Lines (one event object per line)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for e in log.events:
+            fh.write(json.dumps(e.to_dict()) + "\n")
+
+
+def read_jsonl(path: str) -> EventLog:
+    """Load a JSONL dump back into an :class:`EventLog`."""
+    log = EventLog()
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            log.append(ObsEvent(type=doc["type"], t=doc["t"],
+                                wid=doc.get("wid", -1),
+                                round=doc.get("round", -1),
+                                payload=doc.get("payload", {})))
+    return log

@@ -1,0 +1,152 @@
+"""Named counters, gauges and histograms with a per-worker label.
+
+The registry is the uniform vocabulary the runtimes report through:
+per-round durations, buffer depth at delivery, the DS values a policy chose,
+staleness at drain time, bytes on the wire.  :class:`~repro.runtime.metrics.
+RunMetrics` is assembled from a registry, so the simulator and the
+wall-clock runtimes share one metrics schema.
+
+Instruments are keyed by ``(name, wid)``; ``wid=None`` is a run-global
+instrument.  Creation is lock-protected (the threaded runtime creates
+instruments from many threads); updates on an instrument are simple
+attribute writes, which each runtime already serialises per worker.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Counter:
+    """Monotonically increasing count (messages, bytes, rounds...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n=1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """Last-write-wins value (busy time, makespan...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def add(self, v: float) -> None:
+        self.value += v
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Streaming summary of a distribution (round durations, DS values...)."""
+
+    __slots__ = ("count", "total", "vmin", "vmax")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if v < self.vmin:
+            self.vmin = v
+        if v > self.vmax:
+            self.vmax = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": self.count, "total": self.total, "mean": self.mean,
+                "min": self.vmin if self.count else 0.0,
+                "max": self.vmax if self.count else 0.0}
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, mean={self.mean:.4g})"
+
+
+_Key = Tuple[str, Optional[int]]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    __slots__ = ("_instruments", "_lock")
+
+    def __init__(self):
+        self._instruments: Dict[_Key, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, wid: Optional[int], factory):
+        key = (name, wid)
+        inst = self._instruments.get(key)
+        if inst is None:
+            with self._lock:
+                inst = self._instruments.get(key)
+                if inst is None:
+                    inst = factory()
+                    self._instruments[key] = inst
+        if not isinstance(inst, factory):
+            raise TypeError(
+                f"metric {name!r} (wid={wid}) already registered as "
+                f"{type(inst).__name__}, not {factory.__name__}")
+        return inst
+
+    def counter(self, name: str, wid: Optional[int] = None) -> Counter:
+        return self._get(name, wid, Counter)
+
+    def gauge(self, name: str, wid: Optional[int] = None) -> Gauge:
+        return self._get(name, wid, Gauge)
+
+    def histogram(self, name: str, wid: Optional[int] = None) -> Histogram:
+        return self._get(name, wid, Histogram)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str, wid: Optional[int] = None):
+        """The instrument, or ``None`` if it was never created."""
+        return self._instruments.get((name, wid))
+
+    def names(self) -> List[str]:
+        return sorted({name for name, _ in self._instruments})
+
+    def wids(self, name: str) -> List[int]:
+        """Worker labels under which ``name`` was recorded."""
+        return sorted(w for n, w in self._instruments
+                      if n == name and w is not None)
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-ready dump: ``{name: {wid-or-'all': value-or-summary}}``."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for (name, wid), inst in sorted(
+                self._instruments.items(),
+                key=lambda kv: (kv[0][0], -1 if kv[0][1] is None
+                                else kv[0][1])):
+            label = "all" if wid is None else str(wid)
+            value = (inst.summary() if isinstance(inst, Histogram)
+                     else inst.value)
+            out.setdefault(name, {})[label] = value
+        return out
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._instruments)} instruments)"

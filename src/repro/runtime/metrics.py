@@ -4,12 +4,26 @@ Gathers per-worker information — rounds, busy/idle/suspended time, messages
 and bytes exchanged — and aggregates the quantities the paper reports:
 response time, communication cost, idle time, and (at bench level, relative
 to a BSP reference) stale computation.
+
+Since the observability refactor, the canonical representation is a
+:class:`~repro.obs.registry.MetricsRegistry` populated under the shared
+schema below; :class:`RunMetrics` is assembled from a registry
+(:meth:`RunMetrics.from_registry`), and :meth:`RunMetrics.from_workers`
+routes through the same path so every runtime reports identically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+#: per-worker integer counters in the shared registry schema
+WORKER_COUNTERS = ("rounds", "messages_sent", "messages_received",
+                   "bytes_sent", "bytes_received", "work_done")
+#: per-worker time gauges in the shared registry schema
+WORKER_TIMES = ("busy_time", "idle_time", "suspended_time")
 
 
 @dataclass
@@ -47,6 +61,30 @@ class RunMetrics:
     @classmethod
     def from_workers(cls, workers: List[WorkerMetrics],
                      makespan: float) -> "RunMetrics":
+        registry = registry_from_workers(workers)
+        m = cls.from_registry(registry, makespan=makespan)
+        m.workers = list(workers)  # preserve the caller's ordering
+        return m
+
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry,
+                      makespan: float) -> "RunMetrics":
+        """Assemble run metrics from a registry in the shared schema."""
+        wids = sorted(set(registry.wids("rounds"))
+                      | set(registry.wids("busy_time")))
+        workers = []
+        for wid in wids:
+            w = WorkerMetrics(wid=wid)
+            for name in WORKER_COUNTERS:
+                inst = registry.get(name, wid)
+                if inst is not None:
+                    setattr(w, name, inst.value)
+            for name in WORKER_TIMES:
+                inst = registry.get(name, wid)
+                if inst is not None:
+                    setattr(w, name, inst.value)
+            workers.append(w)
+        registry.gauge("makespan").set(makespan)
         m = cls(workers=workers, makespan=makespan)
         for w in workers:
             m.total_busy += w.busy_time
@@ -78,6 +116,13 @@ class RunMetrics:
         straggler = max(self.workers, key=lambda w: w.busy_time)
         return straggler.rounds
 
+    def to_registry(self, into: Optional[MetricsRegistry] = None
+                    ) -> MetricsRegistry:
+        """Re-express these metrics in the shared registry schema."""
+        registry = registry_from_workers(self.workers, into=into)
+        registry.gauge("makespan").set(self.makespan)
+        return registry
+
     def summary(self) -> Dict[str, float]:
         return {
             "makespan": self.makespan,
@@ -90,3 +135,17 @@ class RunMetrics:
             "total_rounds": float(self.total_rounds),
             "max_rounds": float(self.max_rounds),
         }
+
+
+def registry_from_workers(workers: List[WorkerMetrics],
+                          into: Optional[MetricsRegistry] = None
+                          ) -> MetricsRegistry:
+    """Record final per-worker statistics under the shared schema."""
+    registry = into if into is not None else MetricsRegistry()
+    for w in workers:
+        for name in WORKER_COUNTERS:
+            counter = registry.counter(name, w.wid)
+            counter.value = getattr(w, name)
+        for name in WORKER_TIMES:
+            registry.gauge(name, w.wid).set(getattr(w, name))
+    return registry

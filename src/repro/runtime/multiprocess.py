@@ -35,8 +35,10 @@ from repro.core.engine import Engine
 from repro.core.pie import PIEProgram
 from repro.core.result import RunResult
 from repro.errors import RuntimeConfigError, TerminationError
+from repro.obs import events as obs_events
 from repro.partition.fragment import PartitionedGraph
-from repro.runtime.metrics import RunMetrics, WorkerMetrics
+from repro.runtime.metrics import (RunMetrics, WorkerMetrics,
+                                   registry_from_workers)
 
 _MODES = ("AP", "BSP", "AAP")
 
@@ -52,6 +54,9 @@ class _WorkerReport:
     bytes_sent: int
     values: Dict[Any, Any]
     scratch: Dict[str, Any]
+    #: observability records collected in the worker process, as
+    #: (type, absolute-monotonic-time, wid, round, payload) tuples
+    events: List[Tuple] = field(default_factory=list)
 
 
 class _SingleFragmentEngine:
@@ -95,29 +100,34 @@ def _drain(inbox: mp.Queue, first=None, wait: float = 0.0) -> List[Any]:
 def _worker_main(wid: int, mode: str, program: PIEProgram,
                  pg: PartitionedGraph, query: Any,
                  inboxes: List[mp.Queue], control: mp.Queue,
-                 command: mp.Queue, time_scale: float) -> None:
+                 command: mp.Queue, time_scale: float,
+                 observe: bool = False) -> None:
     """Entry point of one worker process."""
     try:
         _worker_loop(wid, mode, program, pg, query, inboxes, control,
-                     command, time_scale)
+                     command, time_scale, observe)
     except Exception as exc:  # pragma: no cover - surfaced by master
         control.put(("error", wid, repr(exc)))
 
 
 def _send_all(wid: int, messages, inboxes: List[mp.Queue],
-              control: mp.Queue, stats: Dict[str, int]) -> None:
+              control: mp.Queue, stats: Dict[str, int],
+              emit=None, round_no: int = 0) -> None:
     if messages:
         # announce before the messages become receivable, so the master's
         # in-flight counter can only over-estimate, never under-estimate
         control.put(("sent", wid, len(messages)))
     for msg in messages:
+        if emit is not None:
+            emit(obs_events.MSG_SEND, round_no, dst=msg.dst,
+                 bytes=msg.size_bytes, seq=msg.seq)
         inboxes[msg.dst].put(msg)
         stats["messages"] += 1
         stats["bytes"] += msg.size_bytes
 
 
 def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
-                 time_scale) -> None:
+                 time_scale, observe=False) -> None:
     engine = _SingleFragmentEngine(program, pg, query, wid)
     inbox = inboxes[wid]
     stats = {"messages": 0, "bytes": 0, "work": 0}
@@ -128,32 +138,61 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
     last_round_dur = 1e-4
     last_arrival = None
     rate = 0.0
+    events: List[Tuple] = []
 
+    # worker-local observability hook: records are collected here and
+    # shipped back to the master in the final report (timestamps are
+    # absolute monotonic; the master normalises them to run-relative)
+    emit = None
+    if observe:
+        def emit(type_, round_no, **payload):
+            events.append((type_, time.monotonic(), wid, round_no, payload))
+
+    def status_change(frm, to, round_no) -> None:
+        if emit is not None:
+            emit(obs_events.STATUS_CHANGE, round_no, frm=frm, to=to)
+
+    started0 = time.monotonic()
+    if emit is not None:
+        emit(obs_events.ROUND_START, 0, kind="peval", batches=0)
     out = engine.peval()
     rounds += 1
     stats["work"] += out.work
-    _send_all(wid, out.messages, inboxes, control, stats)
+    if emit is not None:
+        emit(obs_events.ROUND_END, 0, kind="peval",
+             duration=time.monotonic() - started0, messages=len(out.messages))
+    _send_all(wid, out.messages, inboxes, control, stats, emit, 0)
     control.put(("round", wid, rounds, last_round_dur, rate))
 
     def run_round(batch) -> None:
         nonlocal rounds, last_round_dur
         started = time.monotonic()
+        if emit is not None:
+            emit(obs_events.ROUND_START, rounds, kind="inceval",
+                 batches=len(batch))
         result = engine.inceval(batch, round_no=rounds)
         rounds += 1
         last_round_dur = max(time.monotonic() - started, 1e-6)
         stats["work"] += result.work
+        if emit is not None:
+            emit(obs_events.ROUND_END, rounds - 1, kind="inceval",
+                 duration=last_round_dur, messages=len(result.messages))
         control.put(("delivered", wid, len(batch)))
-        _send_all(wid, result.messages, inboxes, control, stats)
+        _send_all(wid, result.messages, inboxes, control, stats,
+                  emit, rounds - 1)
         control.put(("round", wid, rounds, last_round_dur, rate))
 
     def observe_arrivals(batch) -> None:
         nonlocal last_arrival, rate
         now = time.monotonic()
-        for _ in batch:
+        for depth, msg in enumerate(batch):
             if last_arrival is not None:
                 gap = max(now - last_arrival, 1e-9)
                 rate = 0.5 * rate + 0.5 * (1.0 / gap) if rate else 1.0 / gap
             last_arrival = now
+            if emit is not None:
+                emit(obs_events.MSG_DELIVER, rounds, src=msg.src,
+                     bytes=msg.size_bytes, seq=msg.seq, depth=depth + 1)
 
     inactive_reported = False
     while True:
@@ -192,11 +231,13 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
             if not inactive_reported:
                 control.put(("inactive", wid))
                 inactive_reported = True
+                status_change("running", "inactive", rounds)
             continue
         observe_arrivals(batch)
         if inactive_reported:
             control.put(("active", wid))
             inactive_reported = False
+            status_change("inactive", "running", rounds)
         if mode == "AAP" and policy is not None:
             view = WorkerView(
                 wid=wid, round=rounds, eta=len(batch),
@@ -207,17 +248,30 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                 num_workers=pg.num_fragments,
                 num_peers=len(pg.fragments[wid].peer_fragments()),
                 fleet_avg_round_time=fleet["avg_round"])
-            ds = policy.delay(view)
+            if emit is None:
+                ds = policy.delay(view)
+            else:
+                ds, why = policy.decide(view)
+                action = ("start" if ds <= 0 else
+                          "suspend" if math.isinf(ds) else "wake_scheduled")
+                emit(obs_events.DS_DECISION, rounds, ds=ds, action=action,
+                     eta=view.eta, t_pred=view.t_pred, s_pred=view.s_pred,
+                     rmin=view.rmin, rmax=view.rmax,
+                     t_idle=view.idle_time,
+                     reason=why.pop("reason", ""), **why)
             if ds > 0 and not math.isinf(ds):
                 time.sleep(min(ds * time_scale, 0.01))
-                batch.extend(_drain(inbox))
+                accumulated = _drain(inbox)
+                observe_arrivals(accumulated)
+                batch.extend(accumulated)
         run_round(batch)
 
     ctx = engine.context
     control.put(("done", wid, _WorkerReport(
         wid=wid, rounds=rounds, work=stats["work"],
         messages_sent=stats["messages"], bytes_sent=stats["bytes"],
-        values=dict(ctx.values), scratch=dict(ctx.scratch))))
+        values=dict(ctx.values), scratch=dict(ctx.scratch),
+        events=events)))
 
 
 class MultiprocessRuntime:
@@ -225,7 +279,8 @@ class MultiprocessRuntime:
 
     def __init__(self, program: PIEProgram, pg: PartitionedGraph, query: Any,
                  mode: str = "AP", timeout: float = 120.0,
-                 time_scale: float = 0.001):
+                 time_scale: float = 0.001,
+                 observer: Optional[Any] = None):
         if mode not in _MODES:
             raise RuntimeConfigError(
                 f"multiprocess runtime supports {_MODES}, got {mode!r}")
@@ -235,6 +290,8 @@ class MultiprocessRuntime:
         self.mode = mode
         self.timeout = timeout
         self.time_scale = time_scale
+        self.obs = observer
+        self._started = 0.0
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -246,9 +303,11 @@ class MultiprocessRuntime:
         procs = [ctx.Process(
             target=_worker_main,
             args=(wid, self.mode, self.program, self.pg, self.query,
-                  inboxes, control, commands[wid], self.time_scale),
+                  inboxes, control, commands[wid], self.time_scale,
+                  self.obs is not None),
             daemon=True) for wid in range(m)]
         started = time.monotonic()
+        self._started = started
         for p in procs:
             p.start()
         try:
@@ -266,6 +325,12 @@ class MultiprocessRuntime:
         makespan = time.monotonic() - started
         return self._assemble(reports, makespan)
 
+    def _emit_master(self, type_: str, **payload) -> None:
+        """Master-side observability record (barrier / terminate probe)."""
+        if self.obs is not None:
+            self.obs.log.emit(type_, time.monotonic() - self._started,
+                              **payload)
+
     # ------------------------------------------------------------------
     def _master_loop(self, m: int, control: mp.Queue,
                      commands: List[mp.Queue]) -> Dict[int, _WorkerReport]:
@@ -282,6 +347,7 @@ class MultiprocessRuntime:
         stepping = self.mode == "BSP"
         step_done = m  # PEval counts as the 0th superstep
         step_activity = True
+        step_no = 0
 
         def broadcast(msg) -> None:
             for cq in commands:
@@ -342,6 +408,8 @@ class MultiprocessRuntime:
             if self.mode == "BSP":
                 if step_done == m:
                     if not step_activity and in_flight == 0:
+                        self._emit_master(obs_events.TERMINATE_PROBE,
+                                          result="ack")
                         broadcast(("stop",))
                         while len(reports) < m:
                             evt = control.get(timeout=5.0)
@@ -352,6 +420,8 @@ class MultiprocessRuntime:
                     # the next superstep will pick them up
                     step_done = 0
                     step_activity = False
+                    step_no += 1
+                    self._emit_master(obs_events.BARRIER, step=step_no)
                     broadcast(("superstep",))
                 continue
 
@@ -363,6 +433,9 @@ class MultiprocessRuntime:
             if acks_pending:
                 if ack_count == acks_pending:
                     acks_pending = 0
+                    self._emit_master(
+                        obs_events.TERMINATE_PROBE,
+                        result="ack" if not got_wait else "wait")
                     if not got_wait and in_flight == 0 and all(inactive):
                         broadcast(("stop",))
                         while len(reports) < m:
@@ -393,8 +466,50 @@ class MultiprocessRuntime:
             wid=wid, rounds=rep.rounds, messages_sent=rep.messages_sent,
             bytes_sent=rep.bytes_sent, work_done=rep.work)
             for wid, rep in sorted(reports.items())]
-        metrics = RunMetrics.from_workers(workers, makespan=makespan)
+        extras: Dict[str, Any] = {}
+        if self.obs is not None:
+            self._merge_observations(reports)
+            registry_from_workers(workers, into=self.obs.metrics)
+            metrics = RunMetrics.from_registry(self.obs.metrics,
+                                               makespan=makespan)
+            extras["obs"] = self.obs
+        else:
+            metrics = RunMetrics.from_workers(workers, makespan=makespan)
         return RunResult(answer=answer, mode=f"{self.mode}-multiprocess",
                          metrics=metrics,
                          rounds=[reports[w].rounds for w in range(
-                             self.pg.num_fragments)])
+                             self.pg.num_fragments)],
+                         extras=extras)
+
+    def _merge_observations(self, reports: Dict[int, _WorkerReport]) -> None:
+        """Fold worker-process event records into the master's observer.
+
+        Worker timestamps are absolute monotonic readings (fork shares the
+        clock), normalised here to run-relative time; the merged log is
+        re-sorted so records from different processes interleave by time.
+        """
+        reg = self.obs.metrics
+        for _, report in sorted(reports.items()):
+            for type_, t_abs, wid, round_no, payload in report.events:
+                t = max(t_abs - self._started, 0.0)
+                self.obs.log.emit(type_, t, wid=wid, round=round_no,
+                                  **payload)
+                if type_ == obs_events.ROUND_END:
+                    reg.histogram("round_duration", wid).observe(
+                        payload.get("duration", 0.0))
+                elif type_ == obs_events.ROUND_START:
+                    if payload.get("kind") == "inceval":
+                        reg.histogram("eta_at_drain", wid).observe(
+                            payload.get("batches", 0))
+                elif type_ == obs_events.MSG_SEND:
+                    reg.counter("wire_bytes").inc(payload.get("bytes", 0))
+                elif type_ == obs_events.MSG_DELIVER:
+                    reg.histogram("buffer_depth", wid).observe(
+                        payload.get("depth", 0))
+                elif type_ == obs_events.DS_DECISION:
+                    ds = payload.get("ds", 0.0)
+                    if math.isinf(ds):
+                        reg.counter("ds_suspend", wid).inc()
+                    else:
+                        reg.histogram("ds_chosen", wid).observe(ds)
+        self.obs.log.sort()

@@ -35,6 +35,7 @@ def result_to_dict(result: RunResult, include_trace: bool = False,
     The answer is excluded by default (it can be huge and its node ids may
     not be JSON keys); pass ``include_answer=True`` for small runs.
     """
+    observer = result.extras.get("obs")
     doc: Dict[str, Any] = {
         "mode": result.mode,
         "time": result.time,
@@ -54,6 +55,11 @@ def result_to_dict(result: RunResult, include_trace: bool = False,
         "extras": {k: v for k, v in result.extras.items()
                    if isinstance(v, (int, float, str, bool))},
     }
+    if observer is not None:
+        doc["observability"] = {
+            "event_counts": observer.log.counts(),
+            "metrics": observer.metrics.as_dict(),
+        }
     if include_trace and result.trace is not None:
         doc["trace"] = [
             {"wid": iv.wid, "start": iv.start, "end": iv.end,

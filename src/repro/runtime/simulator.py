@@ -31,10 +31,12 @@ from repro.core.engine import Engine
 from repro.core.worker import WorkerState, WorkerStatus
 from repro.errors import RuntimeConfigError, TerminationError
 from repro.core.result import RunResult
+from repro.obs import events as obs_events
 from repro.runtime.costmodel import CostModel
 from repro.runtime.events import (Custom, Deliver, EventQueue, HostFree,
                                   RoundEnd, WakeUp)
-from repro.runtime.metrics import RunMetrics, WorkerMetrics
+from repro.runtime.metrics import (RunMetrics, WorkerMetrics,
+                                   registry_from_workers)
 from repro.runtime.trace import TraceRecorder
 
 #: delay stretches at or below this are treated as zero (float safety)
@@ -50,9 +52,12 @@ class SimulatedRuntime:
                  record_trace: bool = True,
                  max_rounds_per_worker: int = 1_000_000,
                  max_events: int = 10_000_000,
-                 snapshot_coordinator: Optional[Any] = None):
+                 snapshot_coordinator: Optional[Any] = None,
+                 observer: Optional[Any] = None):
         self.engine = engine
         self.policy = policy
+        #: optional repro.obs.Observer; None means zero-overhead no-op
+        self.obs = observer
         self.cost = cost_model if cost_model is not None else CostModel()
         m = engine.num_workers
         if hosts is not None:
@@ -70,7 +75,7 @@ class SimulatedRuntime:
         self.max_rounds_per_worker = max_rounds_per_worker
         self.max_events = max_events
         self.snapshot_coordinator = snapshot_coordinator
-        # per-worker messages produced by the running round, released at its end
+        # per-worker messages of the running round, released at its end
         self._held: List[List] = [[] for _ in range(m)]
         self._round_started: List[float] = [0.0] * m
         self._round_duration: List[float] = [0.0] * m
@@ -98,11 +103,14 @@ class SimulatedRuntime:
         self._finished = True
         answer = self.engine.assemble()
         metrics = self._collect_metrics()
+        extras = {"events": self.queue.processed}
+        if self.obs is not None:
+            extras["obs"] = self.obs
         return RunResult(
             answer=answer, mode=self.policy.name, metrics=metrics,
             trace=self.trace,
             rounds=[w.rounds for w in self.workers],
-            extras={"events": self.queue.processed})
+            extras=extras)
 
     def seed_resume(self, messages) -> None:
         """Resume incremental evaluation from pre-derived messages.
@@ -184,6 +192,9 @@ class SimulatedRuntime:
     def _check_quiescent(self) -> None:
         stuck = [w.wid for w in self.workers
                  if w.status is WorkerStatus.WAITING and w.buffer]
+        if self.obs is not None:
+            self.obs.log.emit(obs_events.TERMINATE_PROBE, self.now,
+                              result="stuck" if stuck else "quiescent")
         if stuck:
             raise TerminationError(
                 f"event queue drained but workers {stuck} still have "
@@ -192,6 +203,14 @@ class SimulatedRuntime:
     # ------------------------------------------------------------------
     # round lifecycle
     # ------------------------------------------------------------------
+    def _set_status(self, w: WorkerState, status: WorkerStatus) -> None:
+        """Assign a worker status, emitting ``status_change`` if observed."""
+        if self.obs is not None and w.status is not status:
+            self.obs.log.emit(obs_events.STATUS_CHANGE, self.now, wid=w.wid,
+                              round=w.rounds, frm=w.status.value,
+                              to=status.value)
+        w.status = status
+
     def _try_start(self, wid: int) -> bool:
         """Start a round now if the worker's physical host is free."""
         w = self.workers[wid]
@@ -217,7 +236,7 @@ class SimulatedRuntime:
             w.suspended_time += waited
             w.idle_time += gap - waited
         w.wait_started = None
-        w.status = WorkerStatus.RUNNING
+        self._set_status(w, WorkerStatus.RUNNING)
         w.invalidate_wakeups()
         round_no = w.rounds
         if peval:
@@ -229,6 +248,12 @@ class SimulatedRuntime:
             out = self.engine.run_inceval(wid, batches, round_no=round_no)
             kind = "inceval"
             consumed = len(batches)
+        if self.obs is not None:
+            self.obs.log.emit(obs_events.ROUND_START, self.now, wid=wid,
+                              round=round_no, kind=kind, batches=consumed)
+            if not peval:
+                self.obs.metrics.histogram(
+                    "eta_at_drain", wid).observe(consumed)
         duration = self.cost.round_time(wid, out.work,
                                         batches_consumed=consumed,
                                         messages_sent=len(out.messages))
@@ -249,6 +274,13 @@ class SimulatedRuntime:
         duration = self._round_duration[wid]
         self.trace.record(wid, self._round_started[wid], self.now,
                           self._round_kind[wid], w.rounds - 1)
+        if self.obs is not None:
+            self.obs.log.emit(obs_events.ROUND_END, self.now, wid=wid,
+                              round=w.rounds - 1,
+                              kind=self._round_kind[wid], duration=duration,
+                              messages=len(self._held[wid]))
+            self.obs.metrics.histogram(
+                "round_duration", wid).observe(duration)
         w.round_time.observe_round(duration)
         # release the physical host
         host = w.host
@@ -264,13 +296,18 @@ class SimulatedRuntime:
             self.queue.push(Deliver(time=arrival, message=msg))
             w.messages_sent += 1
             w.bytes_sent += msg.size_bytes
+            if self.obs is not None:
+                self.obs.log.emit(obs_events.MSG_SEND, self.now, wid=wid,
+                                  round=w.rounds - 1, dst=msg.dst,
+                                  bytes=msg.size_bytes, seq=msg.seq)
+                self.obs.metrics.counter("wire_bytes").inc(msg.size_bytes)
         self._held[wid] = []
         w.idle_since = self.now
         if w.buffer:
-            w.status = WorkerStatus.WAITING
+            self._set_status(w, WorkerStatus.WAITING)
             w.wait_started = self.now
         else:
-            w.status = WorkerStatus.INACTIVE
+            self._set_status(w, WorkerStatus.INACTIVE)
             w.wait_started = None
         self.policy.on_round_complete(self._view(wid), duration)
         self._drain_host_queue(host)
@@ -283,8 +320,15 @@ class SimulatedRuntime:
         w.buffer.push(msg)
         w.arrival_rate.observe_arrival(self.now)
         w.last_arrival = self.now
+        if self.obs is not None:
+            self.obs.log.emit(obs_events.MSG_DELIVER, self.now, wid=msg.dst,
+                              round=w.rounds, src=msg.src,
+                              bytes=msg.size_bytes, seq=msg.seq,
+                              depth=w.buffer.staleness)
+            self.obs.metrics.histogram(
+                "buffer_depth", msg.dst).observe(w.buffer.staleness)
         if w.status is WorkerStatus.INACTIVE:
-            w.status = WorkerStatus.WAITING
+            self._set_status(w, WorkerStatus.WAITING)
             w.wait_started = self.now
         elif w.status is WorkerStatus.WAITING and w.wait_started is None:
             w.wait_started = self.now
@@ -295,7 +339,7 @@ class SimulatedRuntime:
         if epoch != w.wake_epoch or w.status is not WorkerStatus.WAITING:
             return
         if not w.buffer:
-            w.status = WorkerStatus.INACTIVE
+            self._set_status(w, WorkerStatus.INACTIVE)
             return
         self._reevaluate(wid, from_wakeup=True)
 
@@ -351,32 +395,64 @@ class SimulatedRuntime:
         w = self.workers[wid]
         if w.status is not WorkerStatus.WAITING or not w.buffer:
             return
-        ds = self.policy.delay(self._view(wid))
+        view = self._view(wid)
+        if self.obs is None:
+            ds = self.policy.delay(view)
+            why = None
+        else:
+            # decide() returns the same DS as delay() plus audit details,
+            # so attaching an observer never changes scheduling
+            ds, why = self.policy.decide(view)
         if ds <= _DS_EPSILON:
-            self._try_start(wid)
+            started = self._try_start(wid)
+            action = "start" if started else "host_queued"
         elif math.isinf(ds):
             # suspend until the next state change re-evaluates the policy
             w.invalidate_wakeups()
+            action = "suspend"
         else:
             epoch = w.invalidate_wakeups()
             # keep the wake strictly in the future despite float rounding
             wake_at = max(self.now + ds, self.now * (1 + 1e-12) + _DS_EPSILON)
             self.queue.push(WakeUp(time=wake_at, wid=wid, epoch=epoch))
+            action = "wake_scheduled"
+        if self.obs is not None:
+            self.obs.log.emit(
+                obs_events.DS_DECISION, self.now, wid=wid, round=view.round,
+                ds=ds, action=action, eta=view.eta, t_pred=view.t_pred,
+                s_pred=view.s_pred, rmin=view.rmin, rmax=view.rmax,
+                t_idle=view.idle_time, reason=why.pop("reason", ""), **why)
+            if math.isinf(ds):
+                self.obs.metrics.counter("ds_suspend", wid).inc()
+            else:
+                self.obs.metrics.histogram("ds_chosen", wid).observe(ds)
 
     # ------------------------------------------------------------------
     def _collect_metrics(self) -> RunMetrics:
         per_worker = []
         for w in self.workers:
-            # close any trailing idle period up to the makespan
-            tail = max(self.now - w.idle_since, 0.0) \
-                if w.status is not WorkerStatus.RUNNING else 0.0
+            # close the trailing non-RUNNING segment up to the makespan,
+            # split into suspended vs. idle exactly as _start_round does:
+            # a worker that ends the run under a delay stretch (WAITING)
+            # was suspended for that stretch, not idle
+            tail_suspended = tail_idle = 0.0
+            if w.status is not WorkerStatus.RUNNING:
+                gap = max(self.now - w.idle_since, 0.0)
+                waited = (max(self.now - w.wait_started, 0.0)
+                          if w.wait_started is not None else 0.0)
+                tail_suspended = min(waited, gap)
+                tail_idle = gap - tail_suspended
             per_worker.append(WorkerMetrics(
                 wid=w.wid, rounds=w.rounds, busy_time=w.busy_time,
-                idle_time=w.idle_time + tail,
-                suspended_time=w.suspended_time,
+                idle_time=w.idle_time + tail_idle,
+                suspended_time=w.suspended_time + tail_suspended,
                 messages_sent=w.messages_sent,
                 messages_received=w.buffer.total_received,
                 bytes_sent=w.bytes_sent,
                 bytes_received=w.buffer.total_bytes,
                 work_done=w.work_done))
+        if self.obs is not None:
+            registry_from_workers(per_worker, into=self.obs.metrics)
+            return RunMetrics.from_registry(self.obs.metrics,
+                                            makespan=self.now)
         return RunMetrics.from_workers(per_worker, makespan=self.now)

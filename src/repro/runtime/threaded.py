@@ -11,6 +11,10 @@ band notes compute-heavy async workers need multiprocessing); it
 demonstrates *correctness under real races*: the Church-Rosser tests run the
 same program here and compare with the reference answer.  Wall-clock delay
 stretches are scaled by ``time_scale`` so tests stay fast.
+
+A worker that raises calls :meth:`TerminationMaster.abort`, which releases
+every other worker promptly; the first error is re-raised by :meth:`run`
+with any concurrent failures attached as notes.
 """
 
 from __future__ import annotations
@@ -26,7 +30,9 @@ from repro.core.master import TerminationMaster
 from repro.core.result import RunResult
 from repro.core.worker import WorkerState, WorkerStatus
 from repro.errors import TerminationError
-from repro.runtime.metrics import RunMetrics, WorkerMetrics
+from repro.obs import events as obs_events
+from repro.runtime.metrics import (RunMetrics, WorkerMetrics,
+                                   registry_from_workers)
 
 
 class ThreadedRuntime:
@@ -41,23 +47,26 @@ class ThreadedRuntime:
         delays cannot stall tests.
     timeout:
         Overall run timeout (seconds).
+    observer:
+        Optional :class:`repro.obs.Observer`; ``None`` (the default) records
+        nothing and costs nothing.
     """
 
     def __init__(self, engine: Engine, policy: DelayPolicy,
                  time_scale: float = 0.001, max_wait: float = 0.05,
-                 timeout: float = 120.0):
+                 timeout: float = 120.0, observer: Optional[Any] = None):
         self.engine = engine
         self.policy = policy
         self.time_scale = time_scale
         self.max_wait = max_wait
         self.timeout = timeout
+        self.obs = observer
         m = engine.num_workers
         self.workers = [WorkerState(wid) for wid in range(m)]
         self.master = TerminationMaster(m)
         self._locks = [threading.Lock() for _ in range(m)]
         self._events = [threading.Event() for _ in range(m)]
         self._num_peers = [len(frag.peer_fragments()) for frag in engine.pg]
-        self._error: Optional[BaseException] = None
         self._start_time = 0.0
 
     # ------------------------------------------------------------------
@@ -73,69 +82,139 @@ class ThreadedRuntime:
             self._events[wid].set()  # release any sleeper
         for t in threads:
             t.join(timeout=5.0)
-        if self._error is not None:
-            raise self._error
+        if self.obs is not None:
+            self.obs.log.emit(
+                obs_events.TERMINATE_PROBE, self._now(),
+                result="aborted" if self.master.aborted else "quiescent")
+        errors = self.master.errors
+        if errors:
+            first = errors[0]
+            for other in errors[1:]:
+                if hasattr(first, "add_note"):  # pragma: no branch
+                    first.add_note(
+                        f"concurrent worker failure: {other!r}")
+            raise first
         makespan = time.monotonic() - self._start_time
         answer = self.engine.assemble()
         metrics = self._metrics(makespan)
+        extras = {} if self.obs is None else {"obs": self.obs}
         return RunResult(answer=answer, mode=f"{self.policy.name}-threaded",
                          metrics=metrics,
-                         rounds=[w.rounds for w in self.workers])
+                         rounds=[w.rounds for w in self.workers],
+                         extras=extras)
 
     # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return time.monotonic() - self._start_time
+
+    def _set_status(self, w: WorkerState, status: WorkerStatus) -> None:
+        if self.obs is not None and w.status is not status:
+            self.obs.log.emit(obs_events.STATUS_CHANGE, self._now(),
+                              wid=w.wid, round=w.rounds,
+                              frm=w.status.value, to=status.value)
+        w.status = status
+
+    def _note_if_inactive(self, wid: int) -> bool:
+        """Atomically check emptiness and report inactive to the master.
+
+        The inactive flag must be set atomically with the emptiness check,
+        or a racing delivery could be lost and the master would terminate
+        with an undrained buffer.  The worker's ``status`` is reset in the
+        same critical section, so status-based views (and ``status_change``
+        events) never report a stale RUNNING/WAITING state while the worker
+        sits in the empty-buffer wait path.
+        """
+        w = self.workers[wid]
+        with self._locks[wid]:
+            if w.buffer:
+                return False
+            self._set_status(w, WorkerStatus.INACTIVE)
+            self.master.set_inactive(wid)
+            return True
+
     def _worker_loop(self, wid: int) -> None:
         w = self.workers[wid]
         try:
             self._run_round(wid, peval=True)
             while not self.master.terminated:
-                # the inactive flag must be set atomically with the
-                # emptiness check, or a racing delivery could be lost and
-                # the master would terminate with an undrained buffer
-                with self._locks[wid]:
-                    empty = not w.buffer
-                    if empty:
-                        self.master.set_inactive(wid)
-                if empty:
+                if self._note_if_inactive(wid):
                     self._events[wid].wait(timeout=0.02)
                     self._events[wid].clear()
                     continue
-                ds = self.policy.delay(self._view(wid))
+                view = self._view(wid)
+                if self.obs is None:
+                    ds = self.policy.delay(view)
+                else:
+                    ds, why = self.policy.decide(view)
+                    action = ("start" if ds <= 0 else
+                              "suspend" if math.isinf(ds) else
+                              "wake_scheduled")
+                    self.obs.log.emit(
+                        obs_events.DS_DECISION, self._now(), wid=wid,
+                        round=view.round, ds=ds, action=action,
+                        eta=view.eta, t_pred=view.t_pred,
+                        s_pred=view.s_pred, rmin=view.rmin, rmax=view.rmax,
+                        t_idle=view.idle_time,
+                        reason=why.pop("reason", ""), **why)
+                    if math.isinf(ds):
+                        self.obs.metrics.counter("ds_suspend", wid).inc()
+                    else:
+                        self.obs.metrics.histogram(
+                            "ds_chosen", wid).observe(ds)
                 if ds > 0:
                     wait = (min(ds * self.time_scale, self.max_wait)
                             if not math.isinf(ds) else self.max_wait)
-                    w.status = WorkerStatus.WAITING
+                    self._set_status(w, WorkerStatus.WAITING)
                     self._events[wid].wait(timeout=wait)
                     self._events[wid].clear()
                     if math.isinf(ds):
                         # re-evaluate after any state change
                         continue
                 self._run_round(wid, peval=False)
-        except BaseException as exc:  # pragma: no cover - surfaced in run()
-            self._error = exc
-            self.master.set_inactive(wid)
+        except BaseException as exc:
+            # abort releases every worker promptly and keeps the first
+            # error; concurrent failures are collected, not overwritten
+            self.master.abort(exc)
 
     def _run_round(self, wid: int, peval: bool) -> None:
         w = self.workers[wid]
-        w.status = WorkerStatus.RUNNING
+        self._set_status(w, WorkerStatus.RUNNING)
         started = time.monotonic()
         if peval:
+            batches = []
             out = self.engine.run_peval(wid)
         else:
             with self._locks[wid]:
                 batches = w.buffer.drain()
             if not batches:
-                w.status = WorkerStatus.INACTIVE
+                self._set_status(w, WorkerStatus.INACTIVE)
                 return
             out = self.engine.run_inceval(wid, batches, round_no=w.rounds)
+        if self.obs is not None:
+            self.obs.log.emit(obs_events.ROUND_START,
+                              started - self._start_time, wid=wid,
+                              round=w.rounds,
+                              kind="peval" if peval else "inceval",
+                              batches=len(batches))
+            if not peval:
+                self.obs.metrics.histogram(
+                    "eta_at_drain", wid).observe(len(batches))
         w.rounds += 1
         w.work_done += out.work
         duration = time.monotonic() - started
         w.busy_time += duration
         w.round_time.observe_round(max(duration, 1e-9))
+        if self.obs is not None:
+            self.obs.log.emit(obs_events.ROUND_END, self._now(), wid=wid,
+                              round=w.rounds - 1,
+                              kind="peval" if peval else "inceval",
+                              duration=duration, messages=len(out.messages))
+            self.obs.metrics.histogram(
+                "round_duration", wid).observe(duration)
         for msg in out.messages:
             self._send(msg)
-        w.status = WorkerStatus.INACTIVE if not w.buffer \
-            else WorkerStatus.WAITING
+        self._set_status(w, WorkerStatus.INACTIVE if not w.buffer
+                         else WorkerStatus.WAITING)
         w.idle_since = time.monotonic() - self._start_time
         self.policy.on_round_complete(self._view(wid), max(duration, 1e-9))
 
@@ -145,11 +224,24 @@ class ThreadedRuntime:
         src.messages_sent += 1
         src.bytes_sent += msg.size_bytes
         dst = self.workers[msg.dst]
+        if self.obs is not None:
+            self.obs.log.emit(obs_events.MSG_SEND, self._now(), wid=msg.src,
+                              round=src.rounds, dst=msg.dst,
+                              bytes=msg.size_bytes, seq=msg.seq)
+            self.obs.metrics.counter("wire_bytes").inc(msg.size_bytes)
         with self._locks[msg.dst]:
             dst.buffer.push(msg)
             now = time.monotonic() - self._start_time
             dst.arrival_rate.observe_arrival(now)
             dst.last_arrival = now
+            if self.obs is not None:
+                depth = dst.buffer.staleness
+                self.obs.log.emit(obs_events.MSG_DELIVER, now, wid=msg.dst,
+                                  round=dst.rounds, src=msg.src,
+                                  bytes=msg.size_bytes, seq=msg.seq,
+                                  depth=depth)
+                self.obs.metrics.histogram(
+                    "buffer_depth", msg.dst).observe(depth)
         self.master.set_active(msg.dst)
         self.master.message_delivered()
         self._events[msg.dst].set()
@@ -181,4 +273,8 @@ class ThreadedRuntime:
             messages_received=w.buffer.total_received,
             bytes_sent=w.bytes_sent, bytes_received=w.buffer.total_bytes,
             work_done=w.work_done) for w in self.workers]
+        if self.obs is not None:
+            registry_from_workers(per_worker, into=self.obs.metrics)
+            return RunMetrics.from_registry(self.obs.metrics,
+                                            makespan=makespan)
         return RunMetrics.from_workers(per_worker, makespan=makespan)

@@ -91,3 +91,29 @@ class TestCommands:
     def test_error_exit_code(self, capsys):
         code = cli.main(["run", "--graph", "bogus:1"])
         assert code == 2
+
+    def test_trace_writes_chrome_trace(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "events.jsonl"
+        code, out = self.run_cli(
+            capsys, "trace", "-a", "sssp", "--graph", "grid:6x6",
+            "--source", "0", "-m", "2", "--straggler", "4",
+            "--out", str(out_path), "--jsonl", str(jsonl_path),
+            "--explain", "0", "--explain-limit", "5")
+        assert code == 0
+        with open(out_path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        assert jsonl_path.exists()
+        assert "round_start" in out
+        assert " P0 " in out  # the audit lines
+
+    def test_trace_threaded_runtime(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        code, out = self.run_cli(
+            capsys, "trace", "-a", "cc", "--graph", "powerlaw:60",
+            "-m", "2", "--runtime", "threaded", "--out", str(out_path))
+        assert code == 0
+        with open(out_path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["traceEvents"]

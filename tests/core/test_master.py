@@ -74,3 +74,36 @@ class TestWaiting:
         m = TerminationMaster(1)
         with pytest.raises(TerminationError):
             m.wait_for_termination(timeout=0.05)
+
+
+class TestAbort:
+    def test_abort_forces_termination(self):
+        m = TerminationMaster(3)
+        exc = RuntimeError("worker died")
+        m.abort(exc)
+        assert m.terminated
+        assert m.aborted
+        assert m.errors == [exc]
+
+    def test_abort_releases_waiters_promptly(self):
+        # Regression: a crashed worker used to leave the master blocked
+        # until its timeout; abort must wake wait_for_termination at once.
+        m = TerminationMaster(2)
+        t = threading.Timer(0.02, m.abort, args=(ValueError("boom"),))
+        t.start()
+        m.wait_for_termination(timeout=5.0)  # must not raise / stall
+        t.join()
+        assert m.aborted
+
+    def test_concurrent_errors_collected_not_overwritten(self):
+        m = TerminationMaster(2)
+        first, second = RuntimeError("first"), RuntimeError("second")
+        m.abort(first)
+        m.abort(second)
+        assert m.errors[0] is first
+        assert m.errors[1] is second
+
+    def test_not_aborted_by_default(self):
+        m = TerminationMaster(1)
+        assert not m.aborted
+        assert m.errors == []

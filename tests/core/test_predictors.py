@@ -1,8 +1,11 @@
 """Tests for the EMA-based runtime predictors."""
 
+import math
+
 import pytest
 
-from repro.core.predictors import ArrivalRatePredictor, Ema, RoundTimePredictor
+from repro.core.predictors import (MAX_ARRIVAL_RATE, ArrivalRatePredictor,
+                                   Ema, RoundTimePredictor)
 
 
 class TestEma:
@@ -58,11 +61,46 @@ class TestArrivalRatePredictor:
             p.observe_arrival(float(t) * 2.0)
         assert p.predict() == pytest.approx(0.5)
 
-    def test_simultaneous_arrivals_give_infinite_rate(self):
+    def test_simultaneous_arrivals_clamped_to_finite_ceiling(self):
+        # Regression: a zero EMA gap used to yield rate == inf, which
+        # poisons Eq. 1's fleet-average rate and the DS_i computation.
         p = ArrivalRatePredictor(alpha=1.0)
         p.observe_arrival(1.0)
         p.observe_arrival(1.0)
-        assert p.predict() == float("inf")
+        rate = p.predict()
+        assert rate == MAX_ARRIVAL_RATE
+        assert math.isfinite(rate)
+
+    def test_ceiling_is_configurable(self):
+        p = ArrivalRatePredictor(alpha=1.0, max_rate=100.0)
+        p.observe_arrival(2.0)
+        p.observe_arrival(2.0)
+        assert p.predict() == 100.0
+        with pytest.raises(ValueError):
+            ArrivalRatePredictor(max_rate=0.0)
+
+    def test_tiny_positive_gap_also_clamped(self):
+        p = ArrivalRatePredictor(alpha=1.0, max_rate=1e6)
+        p.observe_arrival(0.0)
+        p.observe_arrival(1e-12)
+        assert p.predict() == 1e6
+
+    def test_clamped_rate_keeps_delay_policy_finite(self):
+        # The clamped s_pred must flow through Eq. 1 without producing
+        # NaN/inf stretches: a zero window at huge rate means "start now".
+        from repro.core.delay import AAPPolicy, WorkerView
+
+        p = ArrivalRatePredictor(alpha=1.0)
+        p.observe_arrival(1.0)
+        p.observe_arrival(1.0)
+        view = WorkerView(wid=0, round=3, eta=4, rmin=3, rmax=5,
+                          idle_time=0.0, now=2.0, t_pred=1.0,
+                          s_pred=p.predict(), fleet_avg_rate=p.predict(),
+                          num_workers=4, num_peers=3,
+                          fleet_avg_round_time=1.0)
+        ds = AAPPolicy().delay(view)
+        assert math.isfinite(ds)
+        assert ds >= 0.0
 
     def test_rate_adapts(self):
         p = ArrivalRatePredictor(alpha=1.0)

@@ -1,0 +1,58 @@
+"""Tests for the delay-decision audit renderer."""
+
+from repro import api
+from repro.algorithms import SSSPProgram, SSSPQuery
+from repro.obs import Observer
+from repro.obs.audit import explain_delays
+from repro.obs.events import DS_DECISION, EventLog
+from repro.runtime.costmodel import CostModel
+
+
+def _log_with_decisions():
+    log = EventLog()
+    log.emit(DS_DECISION, 1.25, wid=0, round=2, ds=0.5,
+             action="wake_scheduled", eta=3, t_pred=1.0, s_pred=2.0,
+             rmin=2, rmax=5, t_idle=0.75, reason="accumulate")
+    log.emit(DS_DECISION, 2.0, wid=1, round=3, ds=float("inf"),
+             action="suspend", eta=1, t_pred=1.0, s_pred=0.0,
+             rmin=2, rmax=5, t_idle=0.0, reason="no_arrival_estimate")
+    log.emit(DS_DECISION, 3.0, wid=0, round=3, ds=0.0, action="start",
+             eta=4, t_pred=1.1, s_pred=2.5, rmin=3, rmax=6, t_idle=0.0,
+             reason="target_met")
+    log.emit("round_start", 3.0, wid=0, round=3, kind="inceval", batches=4)
+    return log
+
+
+class TestExplainDelays:
+    def test_one_line_per_decision(self):
+        lines = explain_delays(_log_with_decisions())
+        assert len(lines) == 3  # the round_start is not a decision
+
+    def test_line_carries_eq1_inputs(self):
+        lines = explain_delays(_log_with_decisions(), wid=0)
+        assert lines[0] == ("t=1.25 P0 r2: wake_scheduled DS=0.5 "
+                            "[accumulate] (eta=3, t_pred=1, s_pred=2, "
+                            "r_min/r_max=2/5, T_idle=0.75)")
+
+    def test_infinite_ds_rendered_as_inf(self):
+        (line,) = explain_delays(_log_with_decisions(), wid=1)
+        assert "suspend DS=inf" in line
+        assert "[no_arrival_estimate]" in line
+
+    def test_wid_filter_and_limit(self):
+        log = _log_with_decisions()
+        assert len(explain_delays(log, wid=0)) == 2
+        assert len(explain_delays(log, wid=1)) == 1
+        last = explain_delays(log, wid=0, limit=1)
+        assert len(last) == 1 and "r3" in last[0]
+
+    def test_real_run_produces_audit(self, small_grid):
+        obs = Observer()
+        api.run(SSSPProgram(), small_grid, SSSPQuery(source=0),
+                num_fragments=4, mode="AAP",
+                cost_model=CostModel.with_straggler(0, factor=4.0),
+                observer=obs)
+        lines = explain_delays(obs.log, wid=1)
+        assert lines, "an AAP straggler run must consult the policy"
+        assert all(line.startswith("t=") and " P1 " in line
+                   for line in lines)

@@ -1,0 +1,103 @@
+"""Cross-runtime schema conformance.
+
+The acceptance criterion of the observability subsystem: the same SSSP query
+run on the simulator, the threaded runtime and the multiprocess runtime
+emits the *identical* event schema — same record types, same payload keys —
+so one set of tooling (exporters, audits, dashboards) serves all three.
+"""
+
+import pytest
+
+from repro import api
+from repro.algorithms import SSSPProgram, SSSPQuery
+from repro.core.engine import Engine
+from repro.core.modes import make_policy
+from repro.graph import analysis, generators
+from repro.obs import Observer
+from repro.obs.events import (DS_DECISION, MSG_DELIVER, MSG_SEND, ROUND_END,
+                              ROUND_START, SCHEMA)
+from repro.partition.edge_cut import HashPartitioner
+from repro.runtime.multiprocess import MultiprocessRuntime
+from repro.runtime.threaded import ThreadedRuntime
+
+#: the record types every runtime must produce for an AAP SSSP run
+CORE_TYPES = (ROUND_START, ROUND_END, MSG_SEND, MSG_DELIVER, DS_DECISION)
+
+
+@pytest.fixture(scope="module")
+def sssp_logs():
+    """One SSSP query, three runtimes, three event logs."""
+    graph = generators.grid2d(6, 6, weighted=True, seed=1)
+    pg = HashPartitioner().partition(graph, 2)
+    query = SSSPQuery(source=0)
+    logs, answers = {}, {}
+
+    obs = Observer()
+    r = api.run(SSSPProgram(), pg, query, mode="AAP", observer=obs)
+    logs["simulated"], answers["simulated"] = obs.log, r.answer
+
+    obs = Observer()
+    rt = ThreadedRuntime(Engine(SSSPProgram(), pg, query),
+                         make_policy("AAP"), timeout=60.0, observer=obs)
+    r = rt.run()
+    logs["threaded"], answers["threaded"] = obs.log, r.answer
+
+    obs = Observer()
+    rt = MultiprocessRuntime(SSSPProgram(), pg, query, mode="AAP",
+                             timeout=90.0, observer=obs)
+    r = rt.run()
+    logs["multiprocess"], answers["multiprocess"] = obs.log, r.answer
+
+    reference = analysis.dijkstra(graph, 0)
+    return logs, answers, reference
+
+
+class TestSchemaIdentity:
+    def test_answers_agree_with_reference(self, sssp_logs):
+        _, answers, ref = sssp_logs
+        for name, answer in answers.items():
+            for v in ref:
+                assert answer[v] == pytest.approx(ref[v]), name
+
+    def test_core_types_present_everywhere(self, sssp_logs):
+        logs, _, _ = sssp_logs
+        for name, log in logs.items():
+            missing = set(CORE_TYPES) - log.types()
+            assert not missing, f"{name} never emitted {missing}"
+
+    def test_payload_keys_match_canonical_schema(self, sssp_logs):
+        logs, _, _ = sssp_logs
+        for name, log in logs.items():
+            observed = log.payload_keys()
+            for etype in CORE_TYPES:
+                extra_ok = {"l_bottom", "target", "window"}  # audit extras
+                keys = observed[etype]
+                canonical = set(SCHEMA[etype])
+                assert canonical <= keys, \
+                    f"{name}:{etype} missing {canonical - keys}"
+                assert keys - canonical <= extra_ok, \
+                    f"{name}:{etype} has non-schema keys " \
+                    f"{keys - canonical - extra_ok}"
+
+    def test_identical_schema_across_runtimes(self, sssp_logs):
+        # the actual acceptance criterion: key sets equal pairwise
+        logs, _, _ = sssp_logs
+        keysets = {name: {t: frozenset(ks)
+                          for t, ks in log.payload_keys().items()
+                          if t in CORE_TYPES}
+                   for name, log in logs.items()}
+        sim = keysets["simulated"]
+        for name in ("threaded", "multiprocess"):
+            for etype in CORE_TYPES:
+                # runtimes may omit *optional* audit extras; the canonical
+                # keys must be byte-identical
+                a = sim[etype] & frozenset(SCHEMA[etype])
+                b = keysets[name][etype] & frozenset(SCHEMA[etype])
+                assert a == b, f"{name}:{etype}: {a} != {b}"
+
+    def test_send_deliver_counts_balance(self, sssp_logs):
+        logs, _, _ = sssp_logs
+        for name, log in logs.items():
+            counts = log.counts()
+            assert counts[MSG_SEND] == counts[MSG_DELIVER], name
+            assert counts[ROUND_START] == counts[ROUND_END], name

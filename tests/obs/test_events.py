@@ -1,0 +1,92 @@
+"""Tests for the typed event log."""
+
+import threading
+
+from repro.obs.events import (EVENT_TYPES, MSG_DELIVER, ROUND_END,
+                              ROUND_START, SCHEMA, EventLog, ObsEvent)
+
+
+class TestObsEvent:
+    def test_to_dict_round_trips_fields(self):
+        e = ObsEvent(type=ROUND_START, t=1.5, wid=2, round=3,
+                     payload={"kind": "inceval", "batches": 4})
+        d = e.to_dict()
+        assert d == {"type": "round_start", "t": 1.5, "wid": 2, "round": 3,
+                     "payload": {"kind": "inceval", "batches": 4}}
+
+    def test_defaults_mark_run_global(self):
+        e = ObsEvent(type="barrier", t=0.0)
+        assert e.wid == -1 and e.round == -1 and e.payload == {}
+
+
+class TestSchema:
+    def test_every_event_type_has_a_schema(self):
+        assert set(SCHEMA) == set(EVENT_TYPES)
+        for keys in SCHEMA.values():
+            assert keys, "schema rows must name at least one payload key"
+
+
+class TestEventLog:
+    def test_emit_and_len(self):
+        log = EventLog()
+        log.emit(ROUND_START, 0.0, wid=0, round=0, kind="peval", batches=0)
+        log.emit(ROUND_END, 1.0, wid=0, round=0, kind="peval",
+                 duration=1.0, messages=2)
+        assert len(log) == 2
+        assert [e.type for e in log] == [ROUND_START, ROUND_END]
+
+    def test_filter_by_type_and_wid(self):
+        log = EventLog()
+        for wid in (0, 1, 0):
+            log.emit(MSG_DELIVER, 1.0, wid=wid, round=0,
+                     src=9, bytes=8, seq=0, depth=1)
+        log.emit(ROUND_START, 2.0, wid=0, round=1, kind="inceval", batches=1)
+        assert len(log.filter(type=MSG_DELIVER)) == 3
+        assert len(log.filter(type=MSG_DELIVER, wid=0)) == 2
+        assert len(log.filter(wid=1)) == 1
+
+    def test_counts_and_types(self):
+        log = EventLog()
+        log.emit(ROUND_START, 0.0, wid=0)
+        log.emit(ROUND_START, 1.0, wid=1)
+        log.emit(ROUND_END, 2.0, wid=0)
+        assert log.counts() == {"round_start": 2, "round_end": 1}
+        assert log.types() == {"round_start", "round_end"}
+
+    def test_payload_keys_union(self):
+        log = EventLog()
+        log.emit(ROUND_START, 0.0, wid=0, kind="peval")
+        log.emit(ROUND_START, 1.0, wid=1, kind="inceval", batches=3)
+        assert log.payload_keys()["round_start"] == {"kind", "batches"}
+
+    def test_sort_is_stable_on_timestamp(self):
+        log = EventLog()
+        log.emit("a", 2.0)
+        log.emit("b", 1.0)
+        log.emit("c", 1.0)
+        log.sort()
+        assert [(e.type, e.t) for e in log] == [("b", 1.0), ("c", 1.0),
+                                                ("a", 2.0)]
+
+    def test_extend_and_append(self):
+        log = EventLog()
+        log.append(ObsEvent(type="x", t=0.0))
+        log.extend([ObsEvent(type="y", t=1.0), ObsEvent(type="z", t=2.0)])
+        assert len(log) == 3
+
+    def test_concurrent_emits_are_all_recorded(self):
+        log = EventLog()
+
+        def worker(wid):
+            for i in range(200):
+                log.emit(MSG_DELIVER, float(i), wid=wid, round=i,
+                         src=0, bytes=1, seq=i, depth=1)
+
+        threads = [threading.Thread(target=worker, args=(w,))
+                   for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(log) == 800
+        assert all(len(log.filter(wid=w)) == 200 for w in range(4))

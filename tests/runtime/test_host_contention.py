@@ -1,0 +1,136 @@
+"""Host-contention coverage: more virtual workers than physical hosts.
+
+Exercises ``_try_start`` / ``_drain_host_queue``: queued workers must never
+be queued twice, a worker is only started when it still wants the host
+(CREATED, or WAITING with a non-empty buffer), and a queued worker whose
+buffer drained in the meantime is skipped in favour of the next in line.
+"""
+
+import pytest
+
+from repro.algorithms import CCProgram, CCQuery, SSSPProgram, SSSPQuery
+from repro.core.engine import Engine
+from repro.core.modes import make_policy
+from repro.core.worker import WorkerStatus
+from repro.graph import analysis
+from repro.partition.edge_cut import HashPartitioner
+from repro.runtime.costmodel import CostModel
+from repro.runtime.simulator import SimulatedRuntime
+
+
+class _InvariantRuntime(SimulatedRuntime):
+    """Simulator that checks host-queue invariants on every transition."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.starts = 0
+        self.queue_high_water = 0
+
+    def _check_invariants(self):
+        for host, q in enumerate(self._host_queue):
+            assert len(q) == len(set(q)), \
+                f"worker queued twice on host {host}: {q}"
+            occupant = self._host_occupant[host]
+            assert occupant not in q, \
+                f"occupant {occupant} of host {host} is also queued"
+        running = [w.wid for w in self.workers
+                   if w.status is WorkerStatus.RUNNING]
+        per_host = {}
+        for wid in running:
+            host = self.workers[wid].host
+            per_host.setdefault(host, []).append(wid)
+        for host, wids in per_host.items():
+            assert len(wids) == 1, \
+                f"host {host} runs {wids} concurrently"
+            assert self._host_occupant[host] == wids[0]
+
+    def _try_start(self, wid):
+        started = super()._try_start(wid)
+        self.queue_high_water = max(
+            self.queue_high_water,
+            max((len(q) for q in self._host_queue), default=0))
+        self._check_invariants()
+        return started
+
+    def _start_round(self, wid):
+        w = self.workers[wid]
+        assert (w.status is WorkerStatus.CREATED
+                or (w.status is WorkerStatus.WAITING and w.buffer)), \
+            f"started worker {wid} in status {w.status} " \
+            f"(buffer={bool(w.buffer)})"
+        self.starts += 1
+        super()._start_round(wid)
+        self._check_invariants()
+
+    def _drain_host_queue(self, host):
+        super()._drain_host_queue(host)
+        self._check_invariants()
+
+
+def _run_checked(graph, program, query, mode, hosts, m=4):
+    pg = HashPartitioner().partition(graph, m)
+    rt = _InvariantRuntime(Engine(program, pg, query), make_policy(mode),
+                           cost_model=CostModel(seed=2), hosts=hosts)
+    return rt, rt.run()
+
+
+class TestContention:
+    @pytest.mark.parametrize("mode", ["AAP", "AP", "BSP"])
+    def test_two_workers_per_host(self, small_grid, mode):
+        rt, result = _run_checked(small_grid, SSSPProgram(),
+                                  SSSPQuery(source=0), mode,
+                                  hosts=[0, 0, 1, 1])
+        ref = analysis.dijkstra(small_grid, 0)
+        assert all(result.answer[v] == pytest.approx(ref[v]) for v in ref)
+        assert rt.starts == sum(result.rounds)
+        assert rt.queue_high_water >= 1, \
+            "2 workers per host must contend at least once (PEval)"
+
+    def test_all_workers_on_one_host(self, small_powerlaw):
+        rt, result = _run_checked(small_powerlaw, CCProgram(), CCQuery(),
+                                  "AAP", hosts=[0, 0, 0, 0])
+        assert result.answer == analysis.connected_components(small_powerlaw)
+        assert rt.queue_high_water >= 3, \
+            "four CREATED workers on one host queue three deep at t=0"
+
+    def test_contended_matches_dedicated_answer(self, small_grid):
+        _, contended = _run_checked(small_grid, CCProgram(), CCQuery(),
+                                    "AAP", hosts=[0, 1, 0, 1])
+        _, dedicated = _run_checked(small_grid, CCProgram(), CCQuery(),
+                                    "AAP", hosts=None)
+        assert contended.answer == dedicated.answer
+
+
+class TestDrainSkipsStaleWaiters:
+    def _runtime(self, graph):
+        pg = HashPartitioner().partition(graph, 3)
+        return SimulatedRuntime(Engine(CCProgram(), pg, CCQuery()),
+                                make_policy("AAP"), hosts=[0, 0, 0])
+
+    def test_drained_buffer_worker_is_skipped(self, small_grid):
+        rt = self._runtime(small_grid)
+        # worker 1 queued while WAITING, but its buffer drained before the
+        # host freed; worker 2 still wants the host (CREATED)
+        rt.workers[0].status = WorkerStatus.INACTIVE
+        rt.workers[1].status = WorkerStatus.WAITING  # empty buffer
+        rt._host_queue[0] = [1, 2]
+        rt._host_occupant[0] = None
+        rt._drain_host_queue(0)
+        assert rt._host_occupant[0] == 2, \
+            "the drained-buffer worker must be skipped, not started"
+        assert rt.workers[2].status is WorkerStatus.RUNNING
+        assert rt.workers[1].status is WorkerStatus.WAITING
+        assert rt._host_queue[0] == []
+
+    def test_drain_stops_when_host_taken(self, small_grid):
+        rt = self._runtime(small_grid)
+        rt._host_queue[0] = [1, 2]
+        rt._host_occupant[0] = 0  # someone still owns the host
+        rt._drain_host_queue(0)
+        assert rt._host_queue[0] == [1, 2], \
+            "an occupied host must leave its queue untouched"
+
+    def test_drain_empty_queue_noop(self, small_grid):
+        rt = self._runtime(small_grid)
+        rt._drain_host_queue(0)
+        assert rt._host_occupant[0] is None

@@ -155,3 +155,82 @@ class TestStragglers:
         ref = analysis.dijkstra(small_grid, 0)
         assert all(result.answer[v] == pytest.approx(ref[v]) for v in ref)
         assert result.rounds == [1]  # PEval alone suffices
+
+
+class TestTailAccounting:
+    """Regression: _collect_metrics must split the trailing non-RUNNING
+    segment into suspended vs. idle exactly as _start_round does."""
+
+    def _runtime(self, graph):
+        pg = HashPartitioner().partition(graph, 2)
+        return SimulatedRuntime(Engine(CCProgram(), pg, CCQuery()),
+                                make_policy("AAP"))
+
+    def test_waiting_tail_counts_as_suspended(self, small_grid):
+        from repro.core.worker import WorkerStatus
+
+        rt = self._runtime(small_grid)
+        rt.now = 10.0
+        w = rt.workers[0]
+        w.status = WorkerStatus.WAITING
+        w.idle_since = 2.0   # finished its last round at t=2
+        w.wait_started = 6.0  # under a delay stretch since t=6
+        metrics = rt._collect_metrics()
+        wm = metrics.workers[0]
+        assert wm.suspended_time == pytest.approx(4.0)
+        assert wm.idle_time == pytest.approx(4.0)
+
+    def test_inactive_tail_is_pure_idle(self, small_grid):
+        from repro.core.worker import WorkerStatus
+
+        rt = self._runtime(small_grid)
+        rt.now = 10.0
+        w = rt.workers[0]
+        w.status = WorkerStatus.INACTIVE
+        w.idle_since = 3.0
+        w.wait_started = None
+        metrics = rt._collect_metrics()
+        wm = metrics.workers[0]
+        assert wm.suspended_time == pytest.approx(0.0)
+        assert wm.idle_time == pytest.approx(7.0)
+
+    def test_running_worker_gets_no_tail(self, small_grid):
+        from repro.core.worker import WorkerStatus
+
+        rt = self._runtime(small_grid)
+        rt.now = 10.0
+        w = rt.workers[0]
+        w.status = WorkerStatus.RUNNING
+        w.idle_since = 0.0
+        metrics = rt._collect_metrics()
+        wm = metrics.workers[0]
+        assert wm.suspended_time == 0.0
+        assert wm.idle_time == 0.0
+
+    def test_wait_never_exceeds_gap(self, small_grid):
+        # wait_started before idle_since (stale marker) must not produce
+        # suspended time larger than the whole gap
+        from repro.core.worker import WorkerStatus
+
+        rt = self._runtime(small_grid)
+        rt.now = 10.0
+        w = rt.workers[0]
+        w.status = WorkerStatus.WAITING
+        w.idle_since = 8.0
+        w.wait_started = 1.0
+        metrics = rt._collect_metrics()
+        wm = metrics.workers[0]
+        assert wm.suspended_time == pytest.approx(2.0)
+        assert wm.idle_time == pytest.approx(0.0)
+
+    def test_full_run_time_budget_balances(self, small_grid):
+        # after the fix, busy + idle + suspended ~= makespan per worker
+        pg = HashPartitioner().partition(small_grid, 4)
+        rt = SimulatedRuntime(Engine(SSSPProgram(), pg, SSSPQuery(source=0)),
+                              make_policy("AAP"),
+                              cost_model=CostModel.with_straggler(0,
+                                                                  factor=4.0))
+        result = rt.run()
+        for w in result.metrics.workers:
+            total = w.busy_time + w.idle_time + w.suspended_time
+            assert total == pytest.approx(result.metrics.makespan, rel=1e-6)

@@ -55,3 +55,94 @@ class TestThreadedMetrics:
             result = run_threaded(small_powerlaw, CCProgram(), CCQuery(),
                                   "AAP")
             assert result.answer == ref
+
+
+class _ExplodingCC(CCProgram):
+    """CC program whose IncEval raises on one worker."""
+
+    def __init__(self, bad_wid=0):
+        super().__init__()
+        self.bad_wid = bad_wid
+
+    def inceval(self, frag, ctx, messages, query):
+        if frag.fid == self.bad_wid:
+            raise RuntimeError(f"inceval exploded on {frag.fid}")
+        return super().inceval(frag, ctx, messages, query)
+
+
+class _AllExplodeCC(CCProgram):
+    """CC program that raises in PEval on every worker."""
+
+    def peval(self, frag, ctx, query):
+        raise RuntimeError(f"peval exploded on {frag.fid}")
+
+
+class TestFailurePropagation:
+    def test_worker_error_surfaces_promptly(self, small_powerlaw):
+        # Regression: a raising worker used to hang the run until the
+        # master timeout, then surface as TerminationError instead of
+        # the original exception.
+        import time
+
+        pg = HashPartitioner().partition(small_powerlaw, 4)
+        rt = ThreadedRuntime(Engine(_ExplodingCC(bad_wid=0), pg, CCQuery()),
+                             make_policy("AP"), timeout=30.0)
+        started = time.monotonic()
+        with pytest.raises(RuntimeError, match="inceval exploded"):
+            rt.run()
+        assert time.monotonic() - started < 10.0, \
+            "failure must abort the run, not wait out the master timeout"
+
+    def test_concurrent_failures_keep_first_error(self, small_grid):
+        pg = HashPartitioner().partition(small_grid, 4)
+        rt = ThreadedRuntime(Engine(_AllExplodeCC(), pg, CCQuery()),
+                             make_policy("AP"), timeout=30.0)
+        with pytest.raises(RuntimeError, match="peval exploded"):
+            rt.run()
+        # every raising worker is on record; none overwrote the first
+        assert len(rt.master.errors) >= 1
+        assert all(isinstance(e, RuntimeError) for e in rt.master.errors)
+
+    def test_abort_releases_other_workers(self, small_powerlaw):
+        # the non-failing workers must exit their loops, not linger
+        pg = HashPartitioner().partition(small_powerlaw, 4)
+        rt = ThreadedRuntime(Engine(_ExplodingCC(bad_wid=1), pg, CCQuery()),
+                             make_policy("AAP"), timeout=30.0)
+        with pytest.raises(RuntimeError):
+            rt.run()
+        import threading as _threading
+        lingering = [t.name for t in _threading.enumerate()
+                     if t.name.startswith("grape-worker-")]
+        assert not lingering
+
+
+class TestInactiveStatusReset:
+    def test_note_if_inactive_resets_status_atomically(self, small_grid):
+        # Regression: the empty-buffer wait path reported inactive to the
+        # master but left the worker's status at WAITING/RUNNING, so
+        # status-based views lied about the fleet.
+        from repro.core.worker import WorkerStatus
+
+        pg = HashPartitioner().partition(small_grid, 2)
+        rt = ThreadedRuntime(Engine(CCProgram(), pg, CCQuery()),
+                             make_policy("AP"))
+        w = rt.workers[0]
+        w.status = WorkerStatus.WAITING
+        assert rt._note_if_inactive(0) is True
+        assert w.status is WorkerStatus.INACTIVE
+        assert rt.master.snapshot_flags()[0] is True
+
+    def test_note_if_inactive_skips_nonempty_buffer(self, small_grid):
+        from repro.core.messages import Message
+        from repro.core.worker import WorkerStatus
+
+        pg = HashPartitioner().partition(small_grid, 2)
+        rt = ThreadedRuntime(Engine(CCProgram(), pg, CCQuery()),
+                             make_policy("AP"))
+        w = rt.workers[0]
+        w.status = WorkerStatus.WAITING
+        w.buffer.push(Message(src=1, dst=0, round=0,
+                      entries=((0, 1.0),)))
+        assert rt._note_if_inactive(0) is False
+        assert w.status is WorkerStatus.WAITING
+        assert rt.master.snapshot_flags()[0] is False
