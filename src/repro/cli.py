@@ -9,6 +9,8 @@
     repro info  --graph grid:30x30 -m 8 --partitioner bfs
     repro trace --algorithm sssp --graph grid:20x20 --mode AAP \
                 --out trace.json --jsonl events.jsonl --explain 0
+    repro chaos --algorithm sssp --graph grid:12x12 -m 4 \
+                --crash 1:3 --runtime threaded --retries 2
 
 Graph specs: ``grid:RxC``, ``powerlaw:N``, ``er:N:P``, ``smallworld:N``,
 ``rmat:SCALE``, ``path:N``, or ``file:PATH`` (edge list).
@@ -134,6 +136,46 @@ def cmd_run(args) -> int:
         out["rmse"] = result.answer["rmse"]
     print(json.dumps(out, indent=2))
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Run one workload under an injected fault plan with recovery on."""
+    from repro.runtime.faultplan import (CrashFault, DelayFault, DropFault,
+                                         DuplicateFault, FaultPlan,
+                                         StragglerFault)
+    from repro.runtime.recovery import RetryPolicy, run_chaos
+
+    faults = []
+    for spec in args.crash or ():
+        wid, _, at = spec.partition(":")
+        faults.append(CrashFault(wid=int(wid), at_round=int(at or 1)))
+    if args.drop > 0:
+        faults.append(DropFault(rate=args.drop))
+    if args.duplicate > 0:
+        faults.append(DuplicateFault(rate=args.duplicate))
+    if args.delay:
+        rate, _, secs = args.delay.partition(":")
+        faults.append(DelayFault(rate=float(rate),
+                                 delay=float(secs or 0.05)))
+    for spec in args.slow or ():
+        wid, _, factor = spec.partition(":")
+        faults.append(StragglerFault(wid=int(wid),
+                                     factor=float(factor or 4.0)))
+    plan = FaultPlan(seed=args.fault_seed, faults=tuple(faults))
+
+    graph = parse_graph(args.graph, seed=args.seed)
+    program, query = build_program(args.algorithm, graph, args.source)
+    pg = PARTITIONERS[args.partitioner]().partition(graph, args.fragments)
+    report = run_chaos(
+        program, pg, query, plan, runtime=args.runtime, mode=args.mode,
+        checkpoint_interval=args.checkpoint_interval,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout, timeout=args.timeout,
+        retry=RetryPolicy(max_retries=args.retries))
+    report["fault_plan"] = {
+        "seed": plan.seed, "faults": [repr(f) for f in plan.faults]}
+    print(json.dumps(report, indent=2))
+    return 0 if report["ok"] else 1
 
 
 def cmd_trace(args) -> int:
@@ -301,6 +343,36 @@ def make_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--explain-limit", type=int, default=20,
                       help="max audit lines to print")
     p_tr.set_defaults(func=cmd_trace)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="inject faults into a live runtime; report "
+                      "detection latency, recoveries and correctness")
+    common(p_chaos)
+    p_chaos.add_argument("--runtime", default="threaded",
+                         choices=["threaded", "multiprocess"])
+    p_chaos.add_argument("--mode", default="AAP",
+                         choices=["AP", "BSP", "AAP"])
+    p_chaos.add_argument("--crash", action="append", metavar="WID:ROUND",
+                         help="kill worker WID at round ROUND (repeatable)")
+    p_chaos.add_argument("--drop", type=float, default=0.0,
+                         help="drop this fraction of messages")
+    p_chaos.add_argument("--duplicate", type=float, default=0.0,
+                         help="duplicate this fraction of messages")
+    p_chaos.add_argument("--delay", default=None, metavar="RATE:SECONDS",
+                         help="delay RATE of messages by SECONDS")
+    p_chaos.add_argument("--slow", action="append", metavar="WID:FACTOR",
+                         help="stretch worker WID's rounds by FACTOR")
+    p_chaos.add_argument("--fault-seed", type=int, default=0,
+                         help="seed of the deterministic fault plan")
+    p_chaos.add_argument("--checkpoint-interval", type=float, default=0.05,
+                         help="seconds between live Chandy-Lamport "
+                              "checkpoints")
+    p_chaos.add_argument("--heartbeat-interval", type=float, default=0.02)
+    p_chaos.add_argument("--heartbeat-timeout", type=float, default=0.5)
+    p_chaos.add_argument("--retries", type=int, default=2,
+                         help="recovery attempts before giving up")
+    p_chaos.add_argument("--timeout", type=float, default=60.0)
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_ver = sub.add_parser("verify",
                            help="check T1/T2 + Church-Rosser empirically")

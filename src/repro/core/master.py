@@ -128,6 +128,12 @@ class TerminationMaster:
         with self._lock:
             return self._terminated
 
+    @property
+    def in_flight(self) -> int:
+        """Messages announced as sent but not yet delivered."""
+        with self._lock:
+            return self._in_flight
+
     def snapshot_flags(self) -> List[bool]:
         with self._lock:
             return list(self._inactive)

@@ -20,7 +20,8 @@ from typing import Any, Dict, Hashable, Iterable, List, Set, Tuple
 
 Node = Hashable
 
-#: crude but deterministic size accounting: bytes per (node, value, round) entry
+#: crude but deterministic size accounting: bytes per
+#: (node, value, round) entry
 ENTRY_BYTES = 16
 #: fixed per-message envelope overhead
 ENVELOPE_BYTES = 24
@@ -89,6 +90,15 @@ class MessageBuffer:
         """
         taken, self._messages = self._messages, []
         return taken
+
+    def peek(self) -> List[Message]:
+        """A copy of the buffered messages, without consuming them.
+
+        This is the supported way to inspect channel state (checkpoint code
+        records buffered messages through it); callers must not rely on the
+        private storage behind ``__slots__``.
+        """
+        return list(self._messages)
 
     @property
     def staleness(self) -> int:

@@ -81,7 +81,8 @@ class FragmentContext:
         return True
 
     def update(self, v: Node, *incoming: Any) -> bool:
-        """Aggregate ``incoming`` into ``v`` via ``f_aggr``; track the change."""
+        """Aggregate ``incoming`` into ``v`` via ``f_aggr``; track
+        the change."""
         return self.set(v, self.aggregator.combine(self.get(v), incoming))
 
     def set_silent(self, v: Node, value: Any) -> None:
@@ -110,7 +111,8 @@ class FragmentContext:
 
 
 class PIEProgram(abc.ABC):
-    """A PIE program ``rho = (PEval, IncEval, Assemble)`` for a query class Q."""
+    """A PIE program ``rho = (PEval, IncEval, Assemble)`` for a
+    query class Q."""
 
     #: the aggregate function f_aggr shared by PEval and IncEval
     aggregator: Aggregator
@@ -235,7 +237,8 @@ class PIEProgram(abc.ABC):
         return self.aggregator.leq(a, b)
 
     def value_size_bytes(self, value: Any) -> int:
-        """Approximate wire size of one shipped value (communication metric)."""
+        """Approximate wire size of one shipped value
+        (communication metric)."""
         return 16
 
     # ------------------------------------------------------------------

@@ -37,3 +37,47 @@ class ConvergenceError(ReproError):
 
 class SnapshotError(ReproError):
     """Chandy-Lamport snapshot or recovery failed."""
+
+
+class WorkerCrashedError(ReproError):
+    """A live runtime detected a dead worker (heartbeat loss or process
+    death).
+
+    This is the *detection-level* failure: it carries enough context for a
+    supervisor (:func:`repro.runtime.recovery.run_with_recovery`) to roll
+    back to the last consistent checkpoint and retry.  ``checkpoint`` is the
+    last complete :class:`~repro.runtime.snapshot.GlobalSnapshot` (or
+    ``None`` when the run died before the first checkpoint).
+    """
+
+    def __init__(self, wid: int, reason: str, detected_at: float = 0.0,
+                 checkpoint=None, failures=None,
+                 detection_latency: float = 0.0):
+        super().__init__(f"worker {wid} failed: {reason} "
+                         f"(detected at t={detected_at:.3f}s)")
+        self.wid = wid
+        self.reason = reason
+        self.detected_at = detected_at
+        self.checkpoint = checkpoint
+        self.failures = list(failures) if failures else []
+        self.detection_latency = detection_latency
+
+
+class WorkerFailureError(ReproError):
+    """Recovery gave up: the retry budget is exhausted.
+
+    Raised instead of hanging; carries the structured failure log
+    (``failures``, a list of :class:`~repro.runtime.recovery.FailureEvent`)
+    and the last consistent ``checkpoint`` so callers can inspect or resume
+    manually.
+    """
+
+    def __init__(self, wid: int, failures, checkpoint=None, attempts: int = 0):
+        summary = "; ".join(f"{f.kind}(wid={f.wid})" for f in failures[-5:])
+        super().__init__(
+            f"worker {wid} failed permanently after {attempts} attempt(s); "
+            f"recent failures: {summary or 'none recorded'}")
+        self.wid = wid
+        self.failures = list(failures)
+        self.checkpoint = checkpoint
+        self.attempts = attempts

@@ -48,7 +48,8 @@ def dijkstra(g: Graph, source: Node) -> Dict[Node, float]:
 
 
 def connected_components(g: Graph) -> Dict[Node, Node]:
-    """Map each node to the minimum node id of its (weakly) connected component.
+    """Map each node to the minimum node id of its (weakly)
+    connected component.
 
     Works on the undirected view of directed graphs, matching the paper's CC.
     Node ids must be totally ordered for ``min`` to be defined.
@@ -90,7 +91,8 @@ def components_as_sets(g: Graph) -> List[Set[Node]]:
 
 def pagerank(g: Graph, damping: float = 0.85, epsilon: float = 1e-9,
              max_iter: int = 10_000) -> Dict[Node, float]:
-    """Reference PageRank by Jacobi iteration of ``P_v = d*sum(P_u/N_u) + (1-d)``.
+    """Reference PageRank by Jacobi iteration of
+    ``P_v = d*sum(P_u/N_u) + (1-d)``.
 
     This is the paper's (non-normalised, Maiter-style) formulation, where every
     node contributes a constant ``(1-d)`` teleport mass; dangling nodes simply

@@ -59,7 +59,8 @@ class CompactGraph:
         edge_list = list(edges)
         for u, v, _ in edge_list:
             if not (0 <= u < num_nodes and 0 <= v < num_nodes):
-                raise GraphError(f"edge ({u}, {v}) out of range 0..{num_nodes - 1}")
+                raise GraphError(
+                    f"edge ({u}, {v}) out of range 0..{num_nodes - 1}")
             if u == v:
                 raise GraphError(f"self-loops are not supported: {u}")
         if directed:

@@ -12,7 +12,8 @@ Node identifiers are arbitrary hashables, though the generators in
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import (Any, Dict, Hashable, Iterable, Iterator, List,
+                    Optional, Tuple)
 
 from repro.errors import GraphError
 
@@ -37,7 +38,8 @@ class Graph:
         self.directed = directed
         # node -> list of (neighbour, weight) for outgoing edges
         self._adj: Dict[Node, List[Tuple[Node, float]]] = {}
-        # node -> list of (neighbour, weight) for incoming edges (directed only)
+        # node -> list of (neighbour, weight) for incoming edges
+        # (directed only)
         self._radj: Dict[Node, List[Tuple[Node, float]]] = {}
         self._node_labels: Dict[Node, Any] = {}
         self._edge_weights: Dict[Edge, float] = {}
@@ -82,11 +84,15 @@ class Graph:
 
     def _rewrite_weight(self, u: Node, v: Node, weight: float) -> None:
         """Update the stored adjacency weight of an existing edge."""
-        self._adj[u] = [(w, weight if w == v else wt) for w, wt in self._adj[u]]
-        self._radj[v] = [(w, weight if w == u else wt) for w, wt in self._radj[v]]
+        self._adj[u] = [(w, weight if w == v else wt)
+                        for w, wt in self._adj[u]]
+        self._radj[v] = [(w, weight if w == u else wt)
+                         for w, wt in self._radj[v]]
         if not self.directed:
-            self._adj[v] = [(w, weight if w == u else wt) for w, wt in self._adj[v]]
-            self._radj[u] = [(w, weight if w == v else wt) for w, wt in self._radj[u]]
+            self._adj[v] = [(w, weight if w == u else wt)
+                            for w, wt in self._adj[v]]
+            self._radj[u] = [(w, weight if w == v else wt)
+                             for w, wt in self._radj[u]]
 
     def _edge_key(self, u: Node, v: Node) -> Edge:
         if self.directed:
@@ -177,7 +183,8 @@ class Graph:
             sub.add_node(v, self._node_labels.get(v))
         for u, v, w in self.edges():
             if u in keep and v in keep:
-                sub.add_edge(u, v, w, self._edge_labels.get(self._edge_key(u, v)))
+                sub.add_edge(u, v, w,
+                             self._edge_labels.get(self._edge_key(u, v)))
         return sub
 
     def reverse(self) -> "Graph":

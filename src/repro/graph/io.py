@@ -62,7 +62,8 @@ def read_edge_list(path: PathLike, directed: bool = None) -> Graph:
                 edges.append((u, v, w))
             else:
                 raise GraphError(
-                    f"{path}:{lineno}: expected 'u v [w]' or 'v', got {line!r}")
+                    f"{path}:{lineno}: expected 'u v [w]' or 'v', "
+                    f"got {line!r}")
     if directed is None:
         directed = header_directed if header_directed is not None else True
     g = Graph(directed=directed)
@@ -85,7 +86,8 @@ def write_json(g: Graph, path: PathLike) -> None:
     """Write the full property graph (labels included) as JSON."""
     doc = {
         "directed": g.directed,
-        "nodes": [{"id": _encode(v), "label": g.node_label(v)} for v in g.nodes],
+        "nodes": [{"id": _encode(v), "label": g.node_label(v)}
+                  for v in g.nodes],
         "edges": [{"u": _encode(u), "v": _encode(v), "w": w,
                    "label": g.edge_label(u, v)}
                   for u, v, w in g.edges()],

@@ -22,10 +22,12 @@ See ``docs/observability.md`` for the event schema and usage.
 """
 
 from repro.obs.audit import explain_delays
-from repro.obs.events import (BARRIER, DS_DECISION, EVENT_TYPES, MSG_DELIVER,
-                              MSG_SEND, ROUND_END, ROUND_START, SCHEMA,
-                              STATUS_CHANGE, TERMINATE_PROBE, EventLog,
-                              ObsEvent)
+from repro.obs.events import (BARRIER, CHECKPOINT, DS_DECISION, EVENT_TYPES,
+                              FAILURE_DETECTED, FAULT_INJECTED,
+                              HEARTBEAT_MISS, MSG_DELIVER, MSG_SEND,
+                              RETRY, ROLLBACK, ROUND_END, ROUND_START,
+                              SCHEMA, STATUS_CHANGE, TERMINATE_PROBE,
+                              EventLog, ObsEvent)
 from repro.obs.export import (read_jsonl, to_chrome_trace, write_chrome_trace,
                               write_jsonl)
 from repro.obs.registry import (Counter, Gauge, Histogram, MetricsRegistry)
@@ -56,5 +58,6 @@ __all__ = [
     "Gauge", "Histogram", "to_chrome_trace", "write_chrome_trace",
     "write_jsonl", "read_jsonl", "explain_delays", "EVENT_TYPES", "SCHEMA",
     "ROUND_START", "ROUND_END", "MSG_SEND", "MSG_DELIVER", "DS_DECISION",
-    "STATUS_CHANGE", "BARRIER", "TERMINATE_PROBE",
+    "STATUS_CHANGE", "BARRIER", "TERMINATE_PROBE", "HEARTBEAT_MISS",
+    "FAILURE_DETECTED", "CHECKPOINT", "ROLLBACK", "RETRY", "FAULT_INJECTED",
 ]

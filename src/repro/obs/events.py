@@ -32,9 +32,22 @@ STATUS_CHANGE = "status_change"
 BARRIER = "barrier"
 #: the master probed for termination (the terminate/ack-or-wait exchange)
 TERMINATE_PROBE = "terminate_probe"
+#: a worker's heartbeat is overdue but not yet fatal (wid = suspect)
+HEARTBEAT_MISS = "heartbeat_miss"
+#: the failure detector declared a worker dead (wid = failed worker)
+FAILURE_DETECTED = "failure_detected"
+#: a Chandy-Lamport checkpoint completed (run-global)
+CHECKPOINT = "checkpoint"
+#: recovery rolled the computation back to a consistent snapshot
+ROLLBACK = "rollback"
+#: recovery is restarting the run after a backoff
+RETRY = "retry"
+#: the fault plan injected an event (crash, drop, delay, duplicate)
+FAULT_INJECTED = "fault_injected"
 
 EVENT_TYPES = (ROUND_START, ROUND_END, MSG_SEND, MSG_DELIVER, DS_DECISION,
-               STATUS_CHANGE, BARRIER, TERMINATE_PROBE)
+               STATUS_CHANGE, BARRIER, TERMINATE_PROBE, HEARTBEAT_MISS,
+               FAILURE_DETECTED, CHECKPOINT, ROLLBACK, RETRY, FAULT_INJECTED)
 
 #: canonical payload keys per event type (shared by every runtime)
 SCHEMA: Dict[str, tuple] = {
@@ -47,6 +60,12 @@ SCHEMA: Dict[str, tuple] = {
     STATUS_CHANGE: ("frm", "to"),
     BARRIER: ("step",),
     TERMINATE_PROBE: ("result",),
+    HEARTBEAT_MISS: ("age",),
+    FAILURE_DETECTED: ("reason", "age"),
+    CHECKPOINT: ("token", "workers", "channel_messages"),
+    ROLLBACK: ("token", "attempt"),
+    RETRY: ("attempt", "backoff"),
+    FAULT_INJECTED: ("fault", "detail"),
 }
 
 

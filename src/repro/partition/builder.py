@@ -72,7 +72,8 @@ def build_edge_cut(g: Graph, owner: Mapping[Node, int], m: int,
 
 
 def build_vertex_cut(g: Graph, edge_owner: Mapping[Tuple[Node, Node], int],
-                     m: int, strategy_name: str = "custom") -> PartitionedGraph:
+                     m: int,
+                     strategy_name: str = "custom") -> PartitionedGraph:
     """Materialise vertex-cut fragments from an edge->fragment assignment.
 
     Each node's *master* fragment is the smallest fragment id holding one of

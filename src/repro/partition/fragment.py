@@ -5,10 +5,14 @@ virtual worker.  Under edge-cut, a cut edge from ``F_i`` to ``F_j`` has a copy
 in both fragments, so a fragment holds its *owned* nodes plus *mirror* copies
 of remote endpoints.  The paper's border sets are exposed directly:
 
-- ``F.I``  (:attr:`Fragment.in_border`):   owned nodes with an incoming cut edge,
-- ``F.O'`` (:attr:`Fragment.out_border`):  owned nodes with an outgoing cut edge,
-- ``F.O``  (:attr:`Fragment.out_copies`):  remote nodes that owned nodes point to,
-- ``F.I'`` (:attr:`Fragment.in_copies`):   remote nodes that point into owned nodes.
+- ``F.I``  (:attr:`Fragment.in_border`):  owned nodes with an
+  incoming cut edge,
+- ``F.O'`` (:attr:`Fragment.out_border`): owned nodes with an
+  outgoing cut edge,
+- ``F.O``  (:attr:`Fragment.out_copies`): remote nodes that owned
+  nodes point to,
+- ``F.I'`` (:attr:`Fragment.in_copies`):  remote nodes that point
+  into owned nodes.
 
 Each fragment also carries the routing index ``I_i`` (paper, Section 3):
 for a border node ``v``, :meth:`Fragment.locations` returns every other
@@ -70,7 +74,8 @@ class Fragment:
 
     @property
     def shared_nodes(self) -> FrozenSet[Node]:
-        """All nodes with a presence in some other fragment (border + mirrors)."""
+        """All nodes with a presence in some other fragment
+        (border + mirrors)."""
         return self.border_nodes | self.mirrors
 
     def locations(self, v: Node) -> Tuple[int, ...]:

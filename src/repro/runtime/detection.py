@@ -1,0 +1,87 @@
+"""Master-side failure detection for the live runtimes.
+
+Workers beat a heartbeat (shared-memory timestamp in the threaded runtime,
+a control-channel message in the multiprocess one); the master polls a
+:class:`FailureDetector`, which escalates a silent worker from *miss*
+(overdue, reported once per interval) to *failure* (past the timeout, or
+its thread/process is no longer alive).  Detection latency is therefore
+O(heartbeat timeout), not O(global run timeout): a killed worker is
+declared dead in under a second instead of stalling the run for the full
+deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One entry of the structured failure log."""
+
+    t: float
+    kind: str  # "heartbeat_miss" | "heartbeat_timeout" | "worker_dead"
+    wid: int
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class Suspicion:
+    """A detector verdict about one worker."""
+
+    wid: int
+    kind: str
+    age: float
+    fatal: bool
+
+
+class FailureDetector:
+    """Tracks per-worker heartbeats and escalates silence to failure.
+
+    ``interval`` is the expected beat period; a worker is *missed* after
+    ``2 * interval`` of silence (throttled to one report per interval) and
+    *failed* after ``timeout``.  ``alive`` (an optional callable
+    ``wid -> bool``) lets the caller add liveness checks — a dead thread or
+    process fails immediately, regardless of heartbeat age.
+    """
+
+    def __init__(self, num_workers: int, interval: float, timeout: float,
+                 now: float = 0.0):
+        if timeout <= 2 * interval:
+            # the timeout must exceed the miss threshold or every failure
+            # would be reported without any preceding miss
+            timeout = max(timeout, 3 * interval)
+        self.interval = interval
+        self.timeout = timeout
+        self._last: Dict[int, float] = {w: now for w in range(num_workers)}
+        self._last_miss: Dict[int, float] = {}
+        self._failed: set = set()
+
+    def beat(self, wid: int, now: float) -> None:
+        self._last[wid] = now
+
+    def last_beat(self, wid: int) -> float:
+        return self._last[wid]
+
+    def check(self, now: float,
+              alive: Optional[Callable[[int], bool]] = None
+              ) -> List[Suspicion]:
+        """One poll: the new misses and failures since the last call."""
+        out: List[Suspicion] = []
+        for wid, last in self._last.items():
+            if wid in self._failed:
+                continue
+            age = now - last
+            dead = alive is not None and not alive(wid)
+            if dead or age > self.timeout:
+                self._failed.add(wid)
+                out.append(Suspicion(
+                    wid=wid, kind="worker_dead" if dead
+                    else "heartbeat_timeout", age=age, fatal=True))
+            elif age > 2 * self.interval:
+                if now - self._last_miss.get(wid, -1e9) >= self.interval:
+                    self._last_miss[wid] = now
+                    out.append(Suspicion(wid=wid, kind="heartbeat_miss",
+                                         age=age, fatal=False))
+        return out

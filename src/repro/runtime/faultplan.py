@@ -1,0 +1,272 @@
+"""Seeded, deterministic fault injection for the live runtimes.
+
+A :class:`FaultPlan` scripts the chaos of a degraded fleet — worker crashes,
+message drops / delays / duplicates, straggler slow-downs — and a
+:class:`FaultInjector` (one per run, built with :meth:`FaultPlan.injector`)
+applies it at the *single transport seam* both live runtimes share: every
+designated message passes through :meth:`FaultInjector.on_send` exactly once
+before it becomes receivable, and every worker consults
+:meth:`FaultInjector.crash_due` before starting a round.
+
+Determinism
+-----------
+Message-level decisions must be reproducible even though the threaded and
+multiprocess runtimes race for real.  They therefore never consume a shared
+RNG stream (whose draw order would depend on thread scheduling); instead
+each decision is a pure hash of ``(seed, fault-kind, src, dst, k)`` where
+``k`` is the index of the message on its ``src -> dst`` channel.  The k-th
+message a worker sends to a given peer receives the same verdict in every
+run of the same plan — the acceptance meaning of "same plan, same injected
+events".  Crash and straggler faults key on ``(wid, round)`` and are exact.
+
+In the multiprocess runtime each worker process builds its own injector from
+the (picklable) plan; since a channel's messages are produced by a single
+worker, the per-channel counters agree with the threaded runtime's.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.messages import Message
+from repro.errors import RuntimeConfigError
+
+#: 64-bit odd constants for splitmix-style hashing
+_MASK = (1 << 64) - 1
+_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _mix(*parts: int) -> float:
+    """Deterministically map integer parts to a float in [0, 1)."""
+    h = 0x632BE59BD9B4E019
+    for p in parts:
+        h = (h ^ (p & _MASK)) & _MASK
+        h = (h + _GAMMA) & _MASK
+        h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+        h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & _MASK
+        h = h ^ (h >> 31)
+    return (h >> 11) / float(1 << 53)
+
+
+# stream tags keep drop/duplicate/delay verdicts independent per message
+_TAG_DROP, _TAG_DUP, _TAG_DELAY = 1, 2, 3
+
+
+class InjectedCrash(BaseException):
+    """Raised inside a worker to simulate its sudden death.
+
+    Derives from ``BaseException`` so PIE programs catching ``Exception``
+    cannot accidentally survive an injected crash.  The threaded runtime
+    treats it as a silent thread death (no abort, no error report) so the
+    master's failure detector — not the normal error path — must notice.
+    """
+
+    def __init__(self, wid: int, round_no: int):
+        super().__init__(f"injected crash: worker {wid} at round {round_no}")
+        self.wid = wid
+        self.round_no = round_no
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Kill worker ``wid`` when it is about to start round ``at_round``."""
+
+    wid: int
+    at_round: int = 1
+
+
+@dataclass(frozen=True)
+class DropFault:
+    """Silently lose a fraction ``rate`` of messages (lossy channel)."""
+
+    rate: float
+    src: Optional[int] = None
+    dst: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DuplicateFault:
+    """Deliver a fraction ``rate`` of messages twice (at-least-once)."""
+
+    rate: float
+    src: Optional[int] = None
+    dst: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DelayFault:
+    """Hold a fraction ``rate`` of messages for ``delay`` wall-clock secs."""
+
+    rate: float
+    delay: float
+    src: Optional[int] = None
+    dst: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """Stretch every round of worker ``wid`` by ``factor`` (>= 1)."""
+
+    wid: int
+    factor: float
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One injected event, for reports and tests."""
+
+    kind: str
+    wid: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible chaos script: seed + a list of fault specs."""
+
+    seed: int = 0
+    faults: Tuple = ()
+
+    def __post_init__(self):
+        for f in self.faults:
+            rate = getattr(f, "rate", None)
+            if rate is not None and not 0.0 <= rate <= 1.0:
+                raise RuntimeConfigError(
+                    f"fault rate must be in [0, 1], got {rate!r} on {f!r}")
+            factor = getattr(f, "factor", None)
+            if factor is not None and factor < 1.0:
+                raise RuntimeConfigError(
+                    f"straggler factor must be >= 1, got {factor!r}")
+            delay = getattr(f, "delay", None)
+            if delay is not None and delay < 0:
+                raise RuntimeConfigError(
+                    f"delay must be >= 0, got {delay!r} on {f!r}")
+            wid = getattr(f, "wid", None)
+            if wid is not None and wid < 0:
+                raise RuntimeConfigError(
+                    f"worker id must be >= 0, got {wid!r} on {f!r}")
+            at_round = getattr(f, "at_round", None)
+            if at_round is not None and at_round < 0:
+                raise RuntimeConfigError(
+                    f"at_round must be >= 0, got {at_round!r} on {f!r}")
+
+    def injector(self) -> "FaultInjector":
+        """Build a fresh injector (per run attempt)."""
+        return FaultInjector(self)
+
+    def without_crashes(self) -> "FaultPlan":
+        """The same plan minus crash faults.
+
+        Recovery restarts use this by default: a restarted worker must not
+        deterministically re-crash at the same round, or no retry budget
+        would ever suffice.
+        """
+        return FaultPlan(seed=self.seed, faults=tuple(
+            f for f in self.faults if not isinstance(f, CrashFault)))
+
+    @property
+    def has_crashes(self) -> bool:
+        return any(isinstance(f, CrashFault) for f in self.faults)
+
+
+def _matches(fault, src: int, dst: int) -> bool:
+    return ((fault.src is None or fault.src == src)
+            and (fault.dst is None or fault.dst == dst))
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to one run.
+
+    Thread-safe: the threaded runtime's workers send concurrently.  The
+    per-channel counters under the lock are the only mutable state; the
+    verdicts themselves are pure functions of the plan seed and the
+    channel-local message index.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._crashes: Dict[int, int] = {
+            f.wid: f.at_round for f in plan.faults
+            if isinstance(f, CrashFault)}
+        self._stragglers: Dict[int, float] = {
+            f.wid: f.factor for f in plan.faults
+            if isinstance(f, StragglerFault)}
+        self._drops = [f for f in plan.faults if isinstance(f, DropFault)]
+        self._dups = [f for f in plan.faults
+                      if isinstance(f, DuplicateFault)]
+        self._delays = [f for f in plan.faults if isinstance(f, DelayFault)]
+        self._channel_idx: Dict[Tuple[int, int], int] = {}
+        self._lock = threading.Lock()
+        #: injected events, in injection order (per process)
+        self.records: List[InjectionRecord] = []
+        self._crashed: set = set()
+
+    @property
+    def message_faults(self) -> bool:
+        return bool(self._drops or self._dups or self._delays)
+
+    # ------------------------------------------------------------------
+    def crash_due(self, wid: int, round_no: int) -> bool:
+        """True when ``wid`` must die before running ``round_no``."""
+        at = self._crashes.get(wid)
+        if at is None or wid in self._crashed or round_no < at:
+            return False
+        with self._lock:
+            self._crashed.add(wid)
+            self.records.append(InjectionRecord(
+                kind="crash", wid=wid, detail=f"round={round_no}"))
+        return True
+
+    def maybe_crash(self, wid: int, round_no: int) -> None:
+        """Raise :class:`InjectedCrash` when the plan schedules one here."""
+        if self.crash_due(wid, round_no):
+            raise InjectedCrash(wid, round_no)
+
+    def round_slowdown(self, wid: int, duration: float) -> float:
+        """Extra seconds worker ``wid`` must stall after a round."""
+        factor = self._stragglers.get(wid)
+        if factor is None:
+            return 0.0
+        return (factor - 1.0) * max(duration, 0.0)
+
+    # ------------------------------------------------------------------
+    def on_send(self, msg: Message) -> List[Tuple[Message, float]]:
+        """The transport seam: decide the fate of one outgoing message.
+
+        Returns ``(message, extra_delay_seconds)`` pairs to actually put on
+        the wire — empty when dropped, two entries when duplicated.
+        """
+        if not self.message_faults:
+            return [(msg, 0.0)]
+        with self._lock:
+            key = (msg.src, msg.dst)
+            k = self._channel_idx.get(key, 0)
+            self._channel_idx[key] = k + 1
+        seed = self.plan.seed
+        for f in self._drops:
+            if _matches(f, msg.src, msg.dst) and _mix(
+                    seed, _TAG_DROP, msg.src, msg.dst, k) < f.rate:
+                self._record("drop", msg, k)
+                return []
+        deliveries = [(msg, 0.0)]
+        for f in self._dups:
+            if _matches(f, msg.src, msg.dst) and _mix(
+                    seed, _TAG_DUP, msg.src, msg.dst, k) < f.rate:
+                self._record("duplicate", msg, k)
+                deliveries.append((msg, 0.0))
+                break
+        for f in self._delays:
+            if _matches(f, msg.src, msg.dst) and _mix(
+                    seed, _TAG_DELAY, msg.src, msg.dst, k) < f.rate:
+                self._record("delay", msg, k)
+                deliveries = [(m, d + f.delay) for m, d in deliveries]
+                break
+        return deliveries
+
+    def _record(self, kind: str, msg: Message, k: int) -> None:
+        with self._lock:
+            self.records.append(InjectionRecord(
+                kind=kind, wid=msg.src,
+                detail=f"dst={msg.dst} channel_idx={k}"))

@@ -19,14 +19,28 @@ Three modes are supported:
   workers also learn ``r_min``/``r_max`` through status exchange).
 
 Everything shipped must be picklable (the built-in PIE programs are).
+
+Fault tolerance (paper, Section 6) mirrors the threaded runtime's and is
+off by default: a :class:`~repro.runtime.faultplan.FaultPlan` injects
+deterministic chaos inside each worker process (an injected crash is a real
+``os._exit`` — the process dies without a goodbye), workers heartbeat over
+the control channel, and the master combines heartbeat ages with
+``Process.is_alive()`` so a dead worker raises
+:class:`~repro.errors.WorkerCrashedError` in O(heartbeat timeout).
+Periodic Chandy-Lamport checkpoints run over the command/control channels:
+the master broadcasts ``("checkpoint", token)``, each worker snapshots its
+state before its next send and ships it back, late un-tokened messages are
+added to the snapshot they logically precede.
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing as mp
+import os
 import queue as queue_mod
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -34,13 +48,37 @@ from repro.core.delay import AAPPolicy, WorkerView
 from repro.core.engine import Engine
 from repro.core.pie import PIEProgram
 from repro.core.result import RunResult
-from repro.errors import RuntimeConfigError, TerminationError
+from repro.errors import (RuntimeConfigError, SnapshotError,
+                          TerminationError, WorkerCrashedError)
 from repro.obs import events as obs_events
 from repro.partition.fragment import PartitionedGraph
+from repro.runtime.detection import FailureDetector, FailureEvent
+from repro.runtime.faultplan import FaultPlan
 from repro.runtime.metrics import (RunMetrics, WorkerMetrics,
                                    registry_from_workers)
+from repro.runtime.snapshot import (GlobalSnapshot, LiveCheckpointer,
+                                    stamp_messages)
 
 _MODES = ("AP", "BSP", "AAP")
+
+
+@dataclass
+class _FTConfig:
+    """Per-worker fault-tolerance config shipped at fork time.
+
+    ``None`` (the default everywhere) keeps the worker loop on the exact
+    legacy path: no injector, no heartbeats, no checkpoint handling.
+    """
+
+    fault_plan: Optional[FaultPlan] = None
+    heartbeat_interval: float = 0.02
+    seed_values: Optional[Dict[Any, Any]] = None
+    seed_scratch: Optional[Dict[str, Any]] = None
+    seed_messages: List[Any] = field(default_factory=list)
+
+    @property
+    def seeded(self) -> bool:
+        return self.seed_values is not None
 
 
 @dataclass
@@ -101,13 +139,16 @@ def _worker_main(wid: int, mode: str, program: PIEProgram,
                  pg: PartitionedGraph, query: Any,
                  inboxes: List[mp.Queue], control: mp.Queue,
                  command: mp.Queue, time_scale: float,
-                 observe: bool = False) -> None:
+                 observe: bool = False,
+                 ft: Optional[_FTConfig] = None) -> None:
     """Entry point of one worker process."""
     try:
         _worker_loop(wid, mode, program, pg, query, inboxes, control,
-                     command, time_scale, observe)
+                     command, time_scale, observe, ft)
     except Exception as exc:  # pragma: no cover - surfaced by master
-        control.put(("error", wid, repr(exc)))
+        # ship the formatted traceback too: the master re-raises it, and
+        # "worker 3 crashed: KeyError(5)" alone is undebuggable
+        control.put(("error", wid, repr(exc), traceback.format_exc()))
 
 
 def _send_all(wid: int, messages, inboxes: List[mp.Queue],
@@ -127,7 +168,7 @@ def _send_all(wid: int, messages, inboxes: List[mp.Queue],
 
 
 def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
-                 time_scale, observe=False) -> None:
+                 time_scale, observe=False, ft=None) -> None:
     engine = _SingleFragmentEngine(program, pg, query, wid)
     inbox = inboxes[wid]
     stats = {"messages": 0, "bytes": 0, "work": 0}
@@ -152,17 +193,160 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
         if emit is not None:
             emit(obs_events.STATUS_CHANGE, round_no, frm=frm, to=to)
 
-    started0 = time.monotonic()
-    if emit is not None:
-        emit(obs_events.ROUND_START, 0, kind="peval", batches=0)
-    out = engine.peval()
-    rounds += 1
-    stats["work"] += out.work
-    if emit is not None:
-        emit(obs_events.ROUND_END, 0, kind="peval",
-             duration=time.monotonic() - started0, messages=len(out.messages))
-    _send_all(wid, out.messages, inboxes, control, stats, emit, 0)
-    control.put(("round", wid, rounds, last_round_dur, rate))
+    # --- fault-tolerance state (all inert when ft is None) ------------
+    injector = (ft.fault_plan.injector()
+                if ft is not None and ft.fault_plan is not None else None)
+    hb_interval = ft.heartbeat_interval if ft is not None else 0.0
+    last_hb = 0.0
+    ckpt_token = None  # the checkpoint token this worker currently holds
+    delayed: List[Tuple[float, Any]] = []  # (due, msg): announced, held
+    carry: List[Any] = []  # drained-but-unprocessed messages
+
+    def beat() -> None:
+        nonlocal last_hb
+        if hb_interval <= 0:
+            return
+        now = time.monotonic()
+        if now - last_hb >= hb_interval:
+            control.put(("heartbeat", wid))
+            last_hb = now
+
+    def crash_if_due() -> None:
+        if injector is not None and injector.crash_due(wid, rounds):
+            if emit is not None:
+                emit(obs_events.FAULT_INJECTED, rounds, fault="crash",
+                     detail=f"round={rounds}")
+            # a real hard death: no error report, no done report — the
+            # master's failure detector must notice on its own
+            os._exit(17)
+
+    def flush_delayed() -> None:
+        if not delayed:
+            return
+        now = time.monotonic()
+        due = [x for x in delayed if x[0] <= now]
+        if due:
+            delayed[:] = [x for x in delayed if x[0] > now]
+            for _, m in due:
+                inboxes[m.dst].put(m)
+
+    def ship(messages, round_no) -> None:
+        """The transport seam: stamp, inject, announce, put."""
+        if not messages:
+            return
+        if ckpt_token is not None:
+            messages = stamp_messages(messages, ckpt_token)
+        if injector is None or not injector.message_faults:
+            _send_all(wid, messages, inboxes, control, stats, emit,
+                      round_no)
+            return
+        now_ship: List[Any] = []
+        later: List[Tuple[float, Any]] = []
+        for msg in messages:
+            deliveries = injector.on_send(msg)
+            if emit is not None and (not deliveries or len(deliveries) > 1
+                                     or deliveries[0][1] > 0):
+                fault = ("drop" if not deliveries else
+                         "duplicate" if len(deliveries) > 1 else "delay")
+                emit(obs_events.FAULT_INJECTED, round_no, fault=fault,
+                     detail=f"dst={msg.dst} seq={msg.seq}")
+            for m, d in deliveries:
+                stats["messages"] += 1
+                stats["bytes"] += m.size_bytes
+                if d <= 0:
+                    now_ship.append(m)
+                else:
+                    later.append((time.monotonic() + d, m))
+        wire = len(now_ship) + len(later)
+        if wire:
+            # announce everything (including held messages) before any
+            # becomes receivable: in-flight may only over-estimate
+            control.put(("sent", wid, wire))
+        for m in now_ship:
+            if emit is not None:
+                emit(obs_events.MSG_SEND, round_no, dst=m.dst,
+                     bytes=m.size_bytes, seq=m.seq)
+            inboxes[m.dst].put(m)
+        delayed.extend(later)
+
+    recv_total = 0
+    recv_by_token: Dict[Any, int] = {}
+
+    def count_recv(batch) -> None:
+        # per-token receive accounting feeds the master's flush check:
+        # an epoch is only complete when every pre-record message is
+        # accounted for on the receive side (message conservation)
+        nonlocal recv_total
+        if ft is None or not batch:
+            return
+        recv_total += len(batch)
+        for m in batch:
+            tok = getattr(m, "token", None)
+            if tok is not None:
+                recv_by_token[tok] = recv_by_token.get(tok, 0) + 1
+
+    def take_checkpoint(token) -> None:
+        """Paper, Section 6: snapshot local state before any further send.
+
+        Messages already drained (or sitting in the inbox) that do *not*
+        carry the token belong to the pre-snapshot channel state; they are
+        both recorded and kept for normal processing.  The report carries
+        this worker's cumulative un-tokened send/receive counts so the
+        master can tell when the cut's channels have fully flushed.
+        """
+        nonlocal ckpt_token
+        if ckpt_token == token:
+            return  # already held: ignore the request
+        fresh = _drain(inbox)
+        count_recv(fresh)
+        carry.extend(fresh)
+        pre = [m for m in carry if getattr(m, "token", None) != token]
+        ctx = engine.context
+        control.put(("ckpt_state", wid, token, dict(ctx.values),
+                     dict(ctx.scratch), list(pre), stats["messages"],
+                     recv_total - recv_by_token.get(token, 0)))
+        ckpt_token = token
+
+    def report_late(batch) -> None:
+        """Un-tokened arrivals after our record: channel state of the
+        snapshot (the master adds them to the matching one)."""
+        if ckpt_token is None:
+            return
+        for m in batch:
+            if getattr(m, "token", None) != ckpt_token:
+                control.put(("ckpt_late", wid, ckpt_token, m))
+
+    if ft is not None and ft.seeded:
+        # rollback restart: restore state, skip PEval (it logically ran
+        # before the checkpoint), treat the snapshot's channel messages
+        # as a pre-announced carry batch
+        ctx = engine.context
+        ctx.values.clear()
+        ctx.values.update(ft.seed_values)
+        ctx.scratch.clear()
+        ctx.scratch.update(ft.seed_scratch)
+        ctx.changed = set()
+        rounds = 1
+        carry.extend(ft.seed_messages)
+        if carry:
+            # balances the ("delivered", ...) this worker will report
+            # once it processes the seeded batch
+            control.put(("sent", wid, len(carry)))
+        control.put(("round", wid, rounds, last_round_dur, rate))
+    else:
+        crash_if_due()  # at_round <= 0 means die before PEval
+        started0 = time.monotonic()
+        if emit is not None:
+            emit(obs_events.ROUND_START, 0, kind="peval", batches=0)
+        out = engine.peval()
+        rounds += 1
+        stats["work"] += out.work
+        if emit is not None:
+            emit(obs_events.ROUND_END, 0, kind="peval",
+                 duration=time.monotonic() - started0,
+                 messages=len(out.messages))
+        ship(out.messages, 0)
+        control.put(("round", wid, rounds, last_round_dur, rate))
 
     def run_round(batch) -> None:
         nonlocal rounds, last_round_dur
@@ -173,13 +357,17 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
         result = engine.inceval(batch, round_no=rounds)
         rounds += 1
         last_round_dur = max(time.monotonic() - started, 1e-6)
+        if injector is not None:
+            # straggler fault: stretch the round before results ship
+            extra = injector.round_slowdown(wid, last_round_dur)
+            if extra > 0:
+                time.sleep(min(extra, 0.05))
         stats["work"] += result.work
         if emit is not None:
             emit(obs_events.ROUND_END, rounds - 1, kind="inceval",
                  duration=last_round_dur, messages=len(result.messages))
         control.put(("delivered", wid, len(batch)))
-        _send_all(wid, result.messages, inboxes, control, stats,
-                  emit, rounds - 1)
+        ship(result.messages, rounds - 1)
         control.put(("round", wid, rounds, last_round_dur, rate))
 
     def observe_arrivals(batch) -> None:
@@ -196,6 +384,10 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
 
     inactive_reported = False
     while True:
+        if ft is not None:
+            beat()
+            crash_if_due()
+            flush_delayed()
         # master commands take priority (probe/fleet/superstep/stop)
         try:
             cmd = command.get_nowait()
@@ -208,13 +400,20 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
             if kind == "fleet":
                 fleet = cmd[1]
                 continue
+            if kind == "checkpoint":
+                take_checkpoint(cmd[1])
+                continue
             if kind == "probe":
                 # the paper's terminate broadcast: ack iff still inactive
-                empty = inbox.empty()
+                empty = inbox.empty() and not carry
                 control.put(("ack" if empty else "wait", wid))
                 continue
             if kind == "superstep":
-                batch = _drain(inbox)
+                fresh = _drain(inbox)
+                count_recv(fresh)
+                report_late(fresh)
+                batch = carry + fresh
+                carry.clear()
                 observe_arrivals(batch)
                 if batch:
                     run_round(batch)
@@ -226,7 +425,14 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
             time.sleep(0.0005)
             continue
 
-        batch = _drain(inbox, wait=0.002)
+        fresh = _drain(inbox, wait=0.002)
+        if ft is not None:
+            count_recv(fresh)
+            report_late(fresh)
+            if carry:
+                fresh = carry + fresh
+                carry.clear()
+        batch = fresh
         if not batch:
             if not inactive_reported:
                 control.put(("inactive", wid))
@@ -262,6 +468,9 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
             if ds > 0 and not math.isinf(ds):
                 time.sleep(min(ds * time_scale, 0.01))
                 accumulated = _drain(inbox)
+                if ft is not None:
+                    count_recv(accumulated)
+                    report_late(accumulated)
                 observe_arrivals(accumulated)
                 batch.extend(accumulated)
         run_round(batch)
@@ -275,12 +484,25 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
 
 
 class MultiprocessRuntime:
-    """Run a PIE program across real OS processes."""
+    """Run a PIE program across real OS processes.
+
+    The fault-tolerance keyword arguments mirror
+    :class:`~repro.runtime.threaded.ThreadedRuntime`; all default to off,
+    leaving the legacy path untouched.  ``snapshot`` (or
+    :meth:`seed_from_snapshot`) starts the run from a consistent
+    Chandy-Lamport checkpoint instead of PEval.
+    """
 
     def __init__(self, program: PIEProgram, pg: PartitionedGraph, query: Any,
                  mode: str = "AP", timeout: float = 120.0,
                  time_scale: float = 0.001,
-                 observer: Optional[Any] = None):
+                 observer: Optional[Any] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 checkpoint_interval: Optional[float] = None,
+                 heartbeat_interval: float = 0.02,
+                 heartbeat_timeout: float = 1.0,
+                 detect_failures: Optional[bool] = None,
+                 snapshot: Optional[GlobalSnapshot] = None):
         if mode not in _MODES:
             raise RuntimeConfigError(
                 f"multiprocess runtime supports {_MODES}, got {mode!r}")
@@ -292,6 +514,44 @@ class MultiprocessRuntime:
         self.time_scale = time_scale
         self.obs = observer
         self._started = 0.0
+        self.fault_plan = fault_plan
+        if detect_failures is None:
+            detect_failures = (fault_plan is not None
+                               or checkpoint_interval is not None)
+        self.detect_failures = detect_failures
+        self.checkpoint_interval = checkpoint_interval
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self._ft = (fault_plan is not None or detect_failures
+                    or checkpoint_interval is not None)
+        #: structured failure log (heartbeat misses, detected deaths)
+        self.failures: List[FailureEvent] = []
+        #: the most recent complete live checkpoint, or None
+        self.last_checkpoint: Optional[GlobalSnapshot] = None
+        self._snapshot: Optional[GlobalSnapshot] = None
+        if snapshot is not None:
+            self.seed_from_snapshot(snapshot)
+
+    def seed_from_snapshot(self, snapshot: GlobalSnapshot) -> None:
+        """Start the next :meth:`run` from a consistent checkpoint."""
+        if snapshot.num_workers_recorded != self.pg.num_fragments:
+            raise SnapshotError(
+                f"snapshot covers {snapshot.num_workers_recorded} workers, "
+                f"runtime has {self.pg.num_fragments}")
+        self._snapshot = snapshot
+
+    def _ft_config(self, wid: int) -> Optional[_FTConfig]:
+        if not self._ft and self._snapshot is None:
+            return None
+        cfg = _FTConfig(fault_plan=self.fault_plan,
+                        heartbeat_interval=(self.heartbeat_interval
+                                            if self.detect_failures else 0.0))
+        if self._snapshot is not None:
+            state = self._snapshot.worker_states[wid]
+            cfg.seed_values = state.values
+            cfg.seed_scratch = state.scratch
+            cfg.seed_messages = self._snapshot.buffered_messages(wid)
+        return cfg
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -304,14 +564,14 @@ class MultiprocessRuntime:
             target=_worker_main,
             args=(wid, self.mode, self.program, self.pg, self.query,
                   inboxes, control, commands[wid], self.time_scale,
-                  self.obs is not None),
+                  self.obs is not None, self._ft_config(wid)),
             daemon=True) for wid in range(m)]
         started = time.monotonic()
         self._started = started
         for p in procs:
             p.start()
         try:
-            reports = self._master_loop(m, control, commands)
+            reports = self._master_loop(m, control, commands, procs)
         finally:
             for cq in commands:
                 try:
@@ -320,8 +580,21 @@ class MultiprocessRuntime:
                     pass
             for p in procs:
                 p.join(timeout=5.0)
+            for p in procs:
                 if p.is_alive():  # pragma: no cover - defensive
                     p.terminate()
+                    p.join(timeout=1.0)
+                if p.is_alive() and hasattr(p, "kill"):  # pragma: no cover
+                    p.kill()
+                    p.join(timeout=1.0)
+            # drop the queues' feeder threads without blocking on buffered
+            # items, so an aborted run leaks neither threads nor zombies
+            for q in [*inboxes, control, *commands]:
+                try:
+                    q.cancel_join_thread()
+                    q.close()
+                except Exception:  # pragma: no cover
+                    pass
         makespan = time.monotonic() - started
         return self._assemble(reports, makespan)
 
@@ -333,7 +606,9 @@ class MultiprocessRuntime:
 
     # ------------------------------------------------------------------
     def _master_loop(self, m: int, control: mp.Queue,
-                     commands: List[mp.Queue]) -> Dict[int, _WorkerReport]:
+                     commands: List[mp.Queue],
+                     procs: Optional[List] = None
+                     ) -> Dict[int, _WorkerReport]:
         deadline = time.monotonic() + self.timeout
         in_flight = 0
         inactive = [False] * m
@@ -348,10 +623,95 @@ class MultiprocessRuntime:
         step_done = m  # PEval counts as the 0th superstep
         step_activity = True
         step_no = 0
+        detector = (FailureDetector(m, self.heartbeat_interval,
+                                    self.heartbeat_timeout,
+                                    now=time.monotonic())
+                    if self.detect_failures else None)
+        ckpt = (LiveCheckpointer(self.checkpoint_interval, m)
+                if self.checkpoint_interval is not None else None)
+        last_ft_check = 0.0
+        # per-epoch channel accounting: the cut is flushed only when every
+        # un-tokened (pre-record) message has been received or amended
+        ckpt_sent: Dict[int, int] = {}
+        ckpt_recv: Dict[int, int] = {}
+        ckpt_amend = [0]
 
         def broadcast(msg) -> None:
             for cq in commands:
                 cq.put(msg)
+
+        def collect_reports() -> Dict[int, _WorkerReport]:
+            while len(reports) < m:
+                try:
+                    evt = control.get(timeout=5.0)
+                except queue_mod.Empty:
+                    missing = [w for w in range(m) if w not in reports]
+                    raise TerminationError(
+                        f"workers {missing} never reported back after the "
+                        f"stop broadcast") from None
+                if evt[0] == "done":
+                    reports[evt[1]] = evt[2]
+            return reports
+
+        def accept_late(wid: int, token: int, msg) -> None:
+            # paper: "messages that arrive late without the token are
+            # added to the last snapshot" — match by the receiver's token
+            current_snap = (ckpt.current.snapshot
+                            if ckpt.current is not None else None)
+            for coord_snap in (current_snap, ckpt.last):
+                if coord_snap is not None and coord_snap.token == token:
+                    coord_snap.channel_messages.setdefault(
+                        wid, []).append(msg)
+                    if coord_snap is current_snap:
+                        ckpt_amend[0] += 1
+                    return
+
+        def ft_check() -> None:
+            nonlocal last_ft_check
+            now = time.monotonic()
+            if now - last_ft_check < 0.005:
+                return
+            last_ft_check = now
+            t = now - self._started
+            if ckpt is not None:
+                coord = ckpt.maybe_start(now)
+                if coord is not None:
+                    ckpt_sent.clear()
+                    ckpt_recv.clear()
+                    ckpt_amend[0] = 0
+                    broadcast(("checkpoint", coord.token))
+                # the cut is usable once every pre-record message is on
+                # the receive side (in a recorded buffer, a reported
+                # late amendment, or a processed round) — the master's
+                # raw in_flight counter would rarely be zero mid-run
+                residual = (abs(sum(ckpt_sent.values())
+                                - sum(ckpt_recv.values()) - ckpt_amend[0])
+                            if len(ckpt_sent) == m else 1)
+                snap = ckpt.maybe_complete(now, residual)
+                if snap is not None:
+                    self.last_checkpoint = snap
+                    self._emit_master(
+                        obs_events.CHECKPOINT, token=snap.token,
+                        workers=snap.num_workers_recorded,
+                        channel_messages=snap.num_channel_messages)
+            if detector is None:
+                return
+            alive = (None if procs is None
+                     else lambda i: procs[i].is_alive())
+            for s in detector.check(now, alive=alive):
+                event = FailureEvent(t=t, kind=s.kind, wid=s.wid,
+                                     detail=f"age={s.age:.3f}s")
+                self.failures.append(event)
+                if not s.fatal:
+                    self._emit_master(obs_events.HEARTBEAT_MISS,
+                                      wid=s.wid, age=s.age)
+                    continue
+                self._emit_master(obs_events.FAILURE_DETECTED, wid=s.wid,
+                                  reason=s.kind, age=s.age)
+                raise WorkerCrashedError(
+                    wid=s.wid, reason=s.kind, detected_at=t,
+                    checkpoint=ckpt.last if ckpt is not None else None,
+                    failures=self.failures, detection_latency=s.age)
 
         def broadcast_fleet() -> None:
             live_rates = [r for r in rates if r > 0]
@@ -367,6 +727,8 @@ class MultiprocessRuntime:
                 raise TerminationError(
                     f"multiprocess run exceeded {self.timeout}s "
                     f"(mode={self.mode})")
+            if self._ft:
+                ft_check()
             try:
                 evt = control.get(timeout=0.01)
             except queue_mod.Empty:
@@ -387,14 +749,33 @@ class MultiprocessRuntime:
                     rounds[wid] = r
                     durations[wid] = dur
                     rates[wid] = rate
+                elif kind == "heartbeat":
+                    if detector is not None:
+                        detector.beat(evt[1], time.monotonic())
+                elif kind == "ckpt_state":
+                    _, wid, token, values, scratch, pre, sent_n, recv_n \
+                        = evt
+                    if (ckpt is not None and ckpt.current is not None
+                            and ckpt.current.token == token):
+                        ckpt.current.record_state(wid, values, scratch,
+                                                  pre)
+                        ckpt_sent[wid] = sent_n
+                        # the recorded buffer contents count as received
+                        ckpt_recv[wid] = recv_n
+                elif kind == "ckpt_late":
+                    if ckpt is not None:
+                        accept_late(evt[1], evt[2], evt[3])
                 elif kind == "ack":
                     ack_count += 1
                 elif kind == "wait":
                     got_wait = True
                     ack_count += 1
                 elif kind == "error":
-                    raise TerminationError(
-                        f"worker {evt[1]} crashed: {evt[2]}")
+                    detail = f"worker {evt[1]} crashed: {evt[2]}"
+                    if len(evt) > 3 and evt[3]:
+                        detail += ("\n--- worker traceback ---\n"
+                                   + str(evt[3]).rstrip())
+                    raise TerminationError(detail)
                 elif kind == "step-done":
                     step_done += 1
                     if evt[2] > 0:
@@ -403,7 +784,13 @@ class MultiprocessRuntime:
                     reports[evt[1]] = evt[2]
                     if len(reports) == m:
                         return reports
-                continue  # keep draining control before deciding anything
+                if kind not in ("heartbeat", "ckpt_state", "ckpt_late"):
+                    # keep draining control before deciding anything --
+                    # but pure fault-tolerance telemetry must fall
+                    # through, or a steady heartbeat stream (one event
+                    # every few ms) keeps the queue non-empty forever
+                    # and starves the termination probe below
+                    continue
 
             if self.mode == "BSP":
                 if step_done == m:
@@ -411,11 +798,7 @@ class MultiprocessRuntime:
                         self._emit_master(obs_events.TERMINATE_PROBE,
                                           result="ack")
                         broadcast(("stop",))
-                        while len(reports) < m:
-                            evt = control.get(timeout=5.0)
-                            if evt[0] == "done":
-                                reports[evt[1]] = evt[2]
-                        return reports
+                        return collect_reports()
                     # messages may still be in OS pipes (in_flight > 0);
                     # the next superstep will pick them up
                     step_done = 0
@@ -438,11 +821,7 @@ class MultiprocessRuntime:
                         result="ack" if not got_wait else "wait")
                     if not got_wait and in_flight == 0 and all(inactive):
                         broadcast(("stop",))
-                        while len(reports) < m:
-                            evt = control.get(timeout=5.0)
-                            if evt[0] == "done":
-                                reports[evt[1]] = evt[2]
-                        return reports
+                        return collect_reports()
                 continue
 
             if all(inactive) and in_flight == 0:

@@ -1,0 +1,227 @@
+"""Online recovery: rollback to the last checkpoint and retry (Section 6).
+
+The paper's Theorem 2 guarantees that for monotone PIE programs any
+consistent Chandy-Lamport cut is a valid restart point: re-running from the
+snapshot reaches the same fixpoint as the uninterrupted run.
+:func:`run_with_recovery` turns that guarantee into a supervisor loop — it
+builds a fresh runtime per attempt (via a caller-supplied factory), seeds it
+from the last complete checkpoint when one exists, and retries detected
+worker failures with bounded exponential backoff.  When the budget is
+exhausted it raises a structured :class:`~repro.errors.WorkerFailureError`
+carrying the accumulated failure log and the last checkpoint, instead of
+hanging or losing the evidence.
+
+:func:`run_chaos` is the one-call harness behind ``repro chaos``: it runs a
+program under a :class:`~repro.runtime.faultplan.FaultPlan` with recovery
+enabled and reports detection latency, recovery count and answer
+correctness against a fault-free reference run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import RuntimeConfigError, WorkerCrashedError, \
+    WorkerFailureError
+from repro.obs import events as obs_events
+from repro.runtime.detection import FailureEvent
+from repro.runtime.snapshot import GlobalSnapshot
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for failure recovery."""
+
+    max_retries: int = 2
+    backoff: float = 0.05
+    factor: float = 2.0
+    max_backoff: float = 1.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise RuntimeConfigError(
+                f"max_retries must be >= 0, got {self.max_retries!r}")
+        if self.backoff < 0 or self.max_backoff < 0 or self.factor < 1.0:
+            raise RuntimeConfigError(
+                f"invalid backoff parameters: {self!r}")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based)."""
+        return min(self.backoff * self.factor ** max(attempt - 1, 0),
+                   self.max_backoff)
+
+
+def run_with_recovery(runtime_factory: Callable[
+                          [Optional[GlobalSnapshot], int], Any],
+                      retry: Optional[RetryPolicy] = None,
+                      observer: Optional[Any] = None,
+                      sleep: Callable[[float], None] = time.sleep):
+    """Run a live runtime, rolling back to checkpoints on worker failure.
+
+    ``runtime_factory(snapshot, attempt)`` must return a *fresh* runtime,
+    already seeded from ``snapshot`` when it is not ``None`` (attempt 0
+    always receives ``None``).  The factory owns the policy decisions a
+    restart needs — in particular, building attempt > 0 with
+    ``plan.without_crashes()`` so a deterministic crash fault does not
+    simply re-fire (that is what
+    :func:`~repro.runtime.faultplan.FaultPlan.without_crashes` is for).
+
+    Returns the successful :class:`~repro.core.result.RunResult`, with
+    ``extras["recovery"]`` summarising attempts/recoveries/failures.
+    Raises :class:`WorkerFailureError` once ``retry.max_retries`` restarts
+    have failed.
+    """
+    retry = retry or RetryPolicy()
+    snapshot: Optional[GlobalSnapshot] = None
+    failures: List[FailureEvent] = []
+    crashes: List[Dict[str, Any]] = []
+    recoveries = 0
+    attempt = 0
+    while True:
+        runtime = runtime_factory(snapshot, attempt)
+        try:
+            result = runtime.run()
+        except WorkerCrashedError as crash:
+            failures.extend(crash.failures or [FailureEvent(
+                t=crash.detected_at, kind=crash.reason, wid=crash.wid)])
+            crashes.append({"wid": crash.wid, "reason": crash.reason,
+                            "detected_at": crash.detected_at,
+                            "detection_latency": crash.detection_latency})
+            if crash.checkpoint is not None:
+                snapshot = crash.checkpoint
+            if attempt >= retry.max_retries:
+                raise WorkerFailureError(
+                    wid=crash.wid, failures=failures, checkpoint=snapshot,
+                    attempts=attempt + 1) from crash
+            attempt += 1
+            recoveries += 1
+            backoff = retry.delay(attempt)
+            if observer is not None:
+                observer.log.emit(
+                    obs_events.ROLLBACK, crash.detected_at,
+                    wid=crash.wid, attempt=attempt,
+                    token=snapshot.token if snapshot is not None else -1)
+                observer.log.emit(obs_events.RETRY, crash.detected_at,
+                                  wid=crash.wid, attempt=attempt,
+                                  backoff=backoff)
+            if backoff > 0:
+                sleep(backoff)
+            continue
+        result.extras["recovery"] = {
+            "attempts": attempt + 1,
+            "recoveries": recoveries,
+            "failures": list(failures),
+            "crashes": list(crashes),
+            "resumed_from_checkpoint": snapshot is not None,
+        }
+        return result
+
+
+def _build_runtime(kind: str, engine_or_none, *, program, pg, query, policy,
+                   mode: str, snapshot, fault_plan, checkpoint_interval,
+                   heartbeat_interval, heartbeat_timeout, timeout,
+                   observer):
+    """Construct one live-runtime attempt (lazy imports avoid cycles)."""
+    if kind == "threaded":
+        from repro.core.engine import Engine
+        from repro.runtime.threaded import ThreadedRuntime
+        engine = Engine(program, pg, query)
+        rt = ThreadedRuntime(
+            engine, policy, timeout=timeout, observer=observer,
+            fault_plan=fault_plan, checkpoint_interval=checkpoint_interval,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout)
+        if snapshot is not None:
+            rt.seed_from_snapshot(snapshot)
+        return rt
+    if kind == "multiprocess":
+        from repro.runtime.multiprocess import MultiprocessRuntime
+        return MultiprocessRuntime(
+            program, pg, query, mode=mode, timeout=timeout,
+            observer=observer, fault_plan=fault_plan,
+            checkpoint_interval=checkpoint_interval,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout, snapshot=snapshot)
+    raise RuntimeConfigError(f"unknown chaos runtime {kind!r}")
+
+
+def run_chaos(program, pg, query, fault_plan, *, runtime: str = "threaded",
+              mode: str = "AAP", policy_factory: Optional[Callable] = None,
+              checkpoint_interval: Optional[float] = 0.05,
+              heartbeat_interval: float = 0.02,
+              heartbeat_timeout: float = 1.0, timeout: float = 60.0,
+              retry: Optional[RetryPolicy] = None,
+              observer: Optional[Any] = None,
+              reference: Optional[Dict] = None) -> Dict[str, Any]:
+    """Run ``program`` under ``fault_plan`` with detection + recovery.
+
+    Returns a report dict: the answer, whether it matches a fault-free
+    reference run (computed with the simulator unless ``reference`` is
+    given), recovery/attempt counts, detection latencies and the injected
+    fault log.  This is the engine behind the ``repro chaos`` CLI.
+    """
+    from repro.core.delay import AAPPolicy, APPolicy, BSPPolicy
+
+    def default_policy():
+        if mode == "BSP":
+            return BSPPolicy()
+        if mode == "AP":
+            return APPolicy()
+        return AAPPolicy()
+
+    make_policy = policy_factory or default_policy
+    if reference is None:
+        from repro.core.engine import Engine
+        from repro.runtime.simulator import SimulatedRuntime
+        ref_engine = Engine(program, pg, query)
+        reference = SimulatedRuntime(ref_engine, make_policy()).run().answer
+
+    def factory(snapshot, attempt):
+        plan = fault_plan if attempt == 0 else fault_plan.without_crashes()
+        return _build_runtime(
+            runtime, None, program=program, pg=pg, query=query,
+            policy=make_policy(), mode=mode, snapshot=snapshot,
+            fault_plan=plan, checkpoint_interval=checkpoint_interval,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout, timeout=timeout,
+            observer=observer)
+
+    start = time.monotonic()
+    failed: Optional[WorkerFailureError] = None
+    try:
+        result = run_with_recovery(factory, retry=retry, observer=observer)
+    except WorkerFailureError as exc:
+        failed = exc
+    elapsed = time.monotonic() - start
+    if failed is not None:
+        return {
+            "ok": False,
+            "error": str(failed),
+            "attempts": failed.attempts,
+            "failures": [
+                {"t": f.t, "kind": f.kind, "wid": f.wid, "detail": f.detail}
+                for f in failed.failures],
+            "last_checkpoint_token": (failed.checkpoint.token
+                                      if failed.checkpoint else None),
+            "elapsed": elapsed,
+        }
+    rec = result.extras.get("recovery", {})
+    fail_log = rec.get("failures", [])
+    return {
+        "ok": True,
+        "answer_matches_reference": result.answer == reference,
+        "attempts": rec.get("attempts", 1),
+        "recoveries": rec.get("recoveries", 0),
+        "resumed_from_checkpoint": rec.get("resumed_from_checkpoint",
+                                           False),
+        "detection_latencies": [
+            round(c["detection_latency"], 4)
+            for c in rec.get("crashes", [])],
+        "failures": [
+            {"t": f.t, "kind": f.kind, "wid": f.wid, "detail": f.detail}
+            for f in fail_log],
+        "elapsed": elapsed,
+        "mode": result.mode,
+    }

@@ -13,13 +13,20 @@ to the last snapshot."*
 produces a :class:`GlobalSnapshot` that is *consistent*: restoring it into a
 fresh runtime (:meth:`SimulatedRuntime.seed_from_snapshot`) and running to
 fixpoint yields the same answer as the uninterrupted run.
+
+The same coordinator also serves the *live* runtimes: there the master only
+raises the token (:meth:`ChandyLamportCoordinator.begin`) and each worker
+records itself between rounds (:meth:`record_live`), exactly the paper's
+protocol.  :class:`LiveCheckpointer` rotates coordinator epochs for periodic
+online checkpoints, keeping the last complete snapshot for rollback.
 """
 
 from __future__ import annotations
 
 import copy
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, Iterable, List, Optional
 
 from repro.core.messages import Message
 from repro.errors import SnapshotError
@@ -52,18 +59,35 @@ class GlobalSnapshot:
     def num_workers_recorded(self) -> int:
         return len(self.worker_states)
 
+    @property
+    def num_channel_messages(self) -> int:
+        return sum(len(v) for v in self.channel_messages.values())
+
+
+def stamp_messages(messages: Iterable[Message], token: Any) -> List[Message]:
+    """Rebuild ``messages`` with the snapshot ``token`` attached."""
+    return [Message(src=m.src, dst=m.dst, round=m.round, entries=m.entries,
+                    token=token, entry_bytes=m.entry_bytes)
+            for m in messages]
+
 
 class ChandyLamportCoordinator:
-    """Drives one snapshot over a :class:`SimulatedRuntime`.
+    """Drives one snapshot epoch over a runtime.
 
-    Usage::
+    Simulator usage::
 
         coord = ChandyLamportCoordinator()
         runtime = SimulatedRuntime(engine, policy,
                                    snapshot_coordinator=coord)
         coord.request_at(runtime, time=5.0)
         result = runtime.run()
-        snap = coord.snapshot    # consistent once the run drains
+        snap = coord.finalize()    # consistent once the run drains
+
+    Live usage (threaded runtime / multiprocess master): the master calls
+    :meth:`begin`; workers call :meth:`record_live` (or the master records
+    shipped state with :meth:`record_state`) the first time they see the
+    token, stamp their subsequent sends via :meth:`stamp_outgoing`, and
+    report un-tokened deliveries via :meth:`on_deliver`.
     """
 
     def __init__(self, token: int = 1):
@@ -71,6 +95,8 @@ class ChandyLamportCoordinator:
         self.snapshot: Optional[GlobalSnapshot] = None
         self._runtime = None
         self._recorded: set = set()
+        # live runtimes mutate the snapshot from several worker threads
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def request_at(self, runtime, time: float) -> None:
@@ -78,6 +104,12 @@ class ChandyLamportCoordinator:
         self._runtime = runtime
         runtime.queue.push(Custom(time=time, tag="snapshot",
                                   payload=self.token))
+
+    def begin(self) -> None:
+        """Raise the token for a live run (workers self-record later)."""
+        with self._lock:
+            if self.snapshot is None:
+                self.snapshot = GlobalSnapshot(token=self.token)
 
     # -- runtime hooks -------------------------------------------------
     def on_initiate(self, runtime, now: float) -> None:
@@ -93,10 +125,7 @@ class ChandyLamportCoordinator:
         """Attach the token to messages sent after the local snapshot."""
         if self.snapshot is None or wid not in self._recorded:
             return messages
-        return [Message(src=m.src, dst=m.dst, round=m.round,
-                        entries=m.entries, token=self.token,
-                        entry_bytes=m.entry_bytes)
-                for m in messages]
+        return stamp_messages(messages, self.token)
 
     def on_deliver(self, wid: int, message: Message, now: float) -> None:
         """Channel recording: late messages without the token belong to the
@@ -106,28 +135,63 @@ class ChandyLamportCoordinator:
         if message.token == self.token:
             return
         if wid in self._recorded:
-            self.snapshot.channel_messages.setdefault(wid, []).append(message)
+            with self._lock:
+                self.snapshot.channel_messages.setdefault(
+                    wid, []).append(message)
 
     # ------------------------------------------------------------------
+    def recorded(self, wid: int) -> bool:
+        """True once worker ``wid`` holds the token (has self-recorded)."""
+        return wid in self._recorded
+
+    @property
+    def num_recorded(self) -> int:
+        return len(self._recorded)
+
+    def record_live(self, wid: int, context,
+                    buffered: Iterable[Message]) -> None:
+        """A live worker records itself upon first seeing the token.
+
+        Must be called between rounds (the context is stable) with the
+        worker's buffer lock held, so the recorded state and the recorded
+        channel messages form one consistent cut.
+        """
+        self.record_state(wid, copy.deepcopy(context.values),
+                          copy.deepcopy(context.scratch), buffered)
+
+    def record_state(self, wid: int, values: Dict, scratch: Dict,
+                     buffered: Iterable[Message] = ()) -> None:
+        """Record an already-extracted worker state (multiprocess master)."""
+        with self._lock:
+            if wid in self._recorded:
+                return
+            if self.snapshot is None:
+                self.snapshot = GlobalSnapshot(token=self.token)
+            self.snapshot.worker_states[wid] = WorkerSnapshot(
+                wid=wid, values=values, scratch=scratch)
+            for msg in buffered:
+                self.snapshot.channel_messages.setdefault(
+                    wid, []).append(msg)
+            self._recorded.add(wid)
+
     def _record_worker(self, runtime, wid: int) -> None:
         if wid in self._recorded:
             return
         ctx = runtime.engine.contexts[wid]
-        self.snapshot.worker_states[wid] = WorkerSnapshot(
-            wid=wid,
-            values=copy.deepcopy(ctx.values),
-            scratch=copy.deepcopy(ctx.scratch))
-        # messages already buffered at snapshot time are channel state too
-        for msg in list(runtime.workers[wid].buffer._messages):
-            self.snapshot.channel_messages.setdefault(wid, []).append(msg)
+        # messages already buffered at snapshot time are channel state;
+        # peek() inspects them without consuming (and without reaching
+        # into the buffer's private storage)
+        self.record_state(wid, copy.deepcopy(ctx.values),
+                          copy.deepcopy(ctx.scratch),
+                          runtime.workers[wid].buffer.peek())
         # so are messages produced by the currently running round but not
         # yet shipped: the recorded values already reflect that round, and
         # once shipped these messages will carry the token (i.e. they are
         # counted exactly once, here)
-        for msg in runtime._held[wid]:
-            self.snapshot.channel_messages.setdefault(
-                msg.dst, []).append(msg)
-        self._recorded.add(wid)
+        with self._lock:
+            for msg in runtime._held[wid]:
+                self.snapshot.channel_messages.setdefault(
+                    msg.dst, []).append(msg)
 
     def finalize(self) -> GlobalSnapshot:
         """Validate and return the snapshot after the run drained."""
@@ -136,8 +200,64 @@ class ChandyLamportCoordinator:
         if self._runtime is not None:
             expected = self._runtime.engine.num_workers
             if self.snapshot.num_workers_recorded != expected:
+                recorded = self.snapshot.num_workers_recorded
                 raise SnapshotError(
-                    f"snapshot incomplete: {self.snapshot.num_workers_recorded}"
+                    f"snapshot incomplete: {recorded}"
                     f"/{expected} workers recorded")
         self.snapshot.complete = True
         return self.snapshot
+
+
+class LiveCheckpointer:
+    """Periodic Chandy-Lamport checkpoints over a live runtime.
+
+    The master polls :meth:`maybe_start` / :meth:`maybe_complete`; workers
+    read :attr:`current` to self-record and stamp.  Only one epoch is in
+    flight at a time; the previous complete snapshot stays available in
+    :attr:`last` for rollback.  An epoch completes once every worker has
+    recorded *and* no un-tokened message can still be in flight (the
+    caller passes its in-flight count), so the cut is consistent.
+    """
+
+    def __init__(self, interval: float, num_workers: int):
+        if interval <= 0:
+            raise SnapshotError(
+                f"checkpoint interval must be positive, got {interval!r}")
+        self.interval = interval
+        self.num_workers = num_workers
+        #: the last complete snapshot (rollback target), or None
+        self.last: Optional[GlobalSnapshot] = None
+        #: the in-progress epoch's coordinator, or None between epochs
+        self.current: Optional[ChandyLamportCoordinator] = None
+        self.completed = 0
+        self._next_token = 1
+        self._last_epoch_end = 0.0
+
+    def maybe_start(self, now: float) -> Optional[ChandyLamportCoordinator]:
+        """Open a new epoch when the interval elapsed; returns it if so."""
+        if self.current is not None:
+            return None
+        if now - self._last_epoch_end < self.interval:
+            return None
+        coord = ChandyLamportCoordinator(token=self._next_token)
+        self._next_token += 1
+        coord.begin()
+        self.current = coord
+        return coord
+
+    def maybe_complete(self, now: float,
+                       in_flight: int) -> Optional[GlobalSnapshot]:
+        """Finalize the open epoch once every worker recorded and the wire
+        is quiet; returns the fresh snapshot if it completed."""
+        coord = self.current
+        if coord is None or coord.num_recorded < self.num_workers:
+            return None
+        if in_flight > 0:
+            return None
+        snap = coord.snapshot
+        snap.complete = True
+        self.last = snap
+        self.current = None
+        self.completed += 1
+        self._last_epoch_end = now
+        return snap

@@ -15,10 +15,21 @@ stretches are scaled by ``time_scale`` so tests stay fast.
 A worker that raises calls :meth:`TerminationMaster.abort`, which releases
 every other worker promptly; the first error is re-raised by :meth:`run`
 with any concurrent failures attached as notes.
+
+Fault tolerance (paper, Section 6) is opt-in and adds nothing to the
+default path: pass a :class:`~repro.runtime.faultplan.FaultPlan` to inject
+reproducible chaos at the send seam, a ``checkpoint_interval`` for periodic
+live Chandy-Lamport snapshots, and the master then runs a heartbeat
+failure detector — a silently dead worker raises
+:class:`~repro.errors.WorkerCrashedError` (carrying the last checkpoint)
+within the heartbeat timeout instead of stalling until the global deadline.
+:func:`repro.runtime.recovery.run_with_recovery` turns that into rollback
+and restart.
 """
 
 from __future__ import annotations
 
+import copy
 import math
 import threading
 import time
@@ -29,10 +40,13 @@ from repro.core.engine import Engine
 from repro.core.master import TerminationMaster
 from repro.core.result import RunResult
 from repro.core.worker import WorkerState, WorkerStatus
-from repro.errors import TerminationError
+from repro.errors import SnapshotError, WorkerCrashedError
 from repro.obs import events as obs_events
+from repro.runtime.detection import FailureDetector, FailureEvent
+from repro.runtime.faultplan import FaultPlan, InjectedCrash
 from repro.runtime.metrics import (RunMetrics, WorkerMetrics,
                                    registry_from_workers)
+from repro.runtime.snapshot import GlobalSnapshot, LiveCheckpointer
 
 
 class ThreadedRuntime:
@@ -50,11 +64,31 @@ class ThreadedRuntime:
     observer:
         Optional :class:`repro.obs.Observer`; ``None`` (the default) records
         nothing and costs nothing.
+    fault_plan:
+        Optional :class:`~repro.runtime.faultplan.FaultPlan` of injected
+        failures (deterministic given its seed).
+    checkpoint_interval:
+        Seconds between live Chandy-Lamport checkpoints; ``None`` (default)
+        takes none.
+    heartbeat_interval / heartbeat_timeout:
+        Failure-detector tuning: workers beat every loop iteration; a worker
+        silent past the timeout (or whose thread died) is declared failed.
+    detect_failures:
+        Force the failure detector on/off; defaults to on whenever a fault
+        plan or checkpoint interval is configured.
+
+    With none of the fault-tolerance options set, the scheduling path is
+    byte-for-byte today's: no extra locks, waits or message rewrites.
     """
 
     def __init__(self, engine: Engine, policy: DelayPolicy,
                  time_scale: float = 0.001, max_wait: float = 0.05,
-                 timeout: float = 120.0, observer: Optional[Any] = None):
+                 timeout: float = 120.0, observer: Optional[Any] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 checkpoint_interval: Optional[float] = None,
+                 heartbeat_interval: float = 0.02,
+                 heartbeat_timeout: float = 1.0,
+                 detect_failures: Optional[bool] = None):
         self.engine = engine
         self.policy = policy
         self.time_scale = time_scale
@@ -68,24 +102,88 @@ class ThreadedRuntime:
         self._events = [threading.Event() for _ in range(m)]
         self._num_peers = [len(frag.peer_fragments()) for frag in engine.pg]
         self._start_time = 0.0
+        # --- fault tolerance (all optional; None/off by default) ---------
+        self.fault_plan = fault_plan
+        self._injector = fault_plan.injector() if fault_plan else None
+        if detect_failures is None:
+            detect_failures = (fault_plan is not None
+                               or checkpoint_interval is not None)
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self._detector: Optional[FailureDetector] = (
+            FailureDetector(m, heartbeat_interval, heartbeat_timeout)
+            if detect_failures else None)
+        self._ckpt: Optional[LiveCheckpointer] = (
+            LiveCheckpointer(checkpoint_interval, m)
+            if checkpoint_interval is not None else None)
+        self._ft = (self._injector is not None or self._detector is not None
+                    or self._ckpt is not None)
+        #: structured failure log (heartbeat misses, detected deaths)
+        self.failures: List[FailureEvent] = []
+        self._threads: List[threading.Thread] = []
+        self._timers: List[threading.Timer] = []
+        self._clean_exit = [False] * m
+        self._seeded = False
+
+    # ------------------------------------------------------------------
+    @property
+    def last_checkpoint(self) -> Optional[GlobalSnapshot]:
+        """The most recent complete live checkpoint, or ``None``."""
+        return self._ckpt.last if self._ckpt is not None else None
+
+    def seed_from_snapshot(self, snapshot: GlobalSnapshot) -> None:
+        """Roll every worker back to a consistent checkpoint before running.
+
+        Restores status variables, program scratch and in-channel messages;
+        PEval is skipped (it logically happened before the snapshot).
+        """
+        if snapshot.num_workers_recorded != self.engine.num_workers:
+            raise SnapshotError(
+                f"snapshot covers {snapshot.num_workers_recorded} workers, "
+                f"engine has {self.engine.num_workers}")
+        for wid, ctx in enumerate(self.engine.contexts):
+            state = snapshot.worker_states[wid]
+            ctx.values = copy.deepcopy(state.values)
+            ctx.scratch = copy.deepcopy(state.scratch)
+            ctx.changed = set()
+            w = self.workers[wid]
+            w.rounds = 1  # PEval logically done
+            for msg in snapshot.buffered_messages(wid):
+                w.buffer.push(msg)
+        self._seeded = True
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         self._start_time = time.monotonic()
-        threads = [threading.Thread(target=self._worker_loop, args=(wid,),
-                                    name=f"grape-worker-{wid}", daemon=True)
-                   for wid in range(self.engine.num_workers)]
-        for t in threads:
+        if self._detector is not None:
+            for wid in range(self.engine.num_workers):
+                self._detector.beat(wid, self._start_time)
+        self._threads = [threading.Thread(target=self._worker_loop,
+                                          args=(wid,),
+                                          name=f"grape-worker-{wid}",
+                                          daemon=True)
+                         for wid in range(self.engine.num_workers)]
+        for t in self._threads:
             t.start()
-        self.master.wait_for_termination(timeout=self.timeout)
+        crash: Optional[WorkerCrashedError] = None
+        poll = self._ft_poll if self._ft else None
+        try:
+            self.master.wait_for_termination(timeout=self.timeout, poll=poll)
+        except WorkerCrashedError as exc:
+            crash = exc
+            self.master.abort(exc)  # release every surviving worker
         for wid in range(self.engine.num_workers):
             self._events[wid].set()  # release any sleeper
-        for t in threads:
+        for t in self._threads:
             t.join(timeout=5.0)
+        for timer in self._timers:
+            timer.cancel()
         if self.obs is not None:
             self.obs.log.emit(
                 obs_events.TERMINATE_PROBE, self._now(),
                 result="aborted" if self.master.aborted else "quiescent")
+        if crash is not None:
+            raise crash
         errors = self.master.errors
         if errors:
             first = errors[0]
@@ -98,6 +196,8 @@ class ThreadedRuntime:
         answer = self.engine.assemble()
         metrics = self._metrics(makespan)
         extras = {} if self.obs is None else {"obs": self.obs}
+        if self._ckpt is not None:
+            extras["checkpoints"] = self._ckpt.completed
         return RunResult(answer=answer, mode=f"{self.policy.name}-threaded",
                          metrics=metrics,
                          rounds=[w.rounds for w in self.workers],
@@ -107,6 +207,73 @@ class ThreadedRuntime:
     def _now(self) -> float:
         return time.monotonic() - self._start_time
 
+    # ------------------------------------------------------------------
+    # fault-tolerance hooks (never on the default path)
+    # ------------------------------------------------------------------
+    def _ft_poll(self) -> None:
+        """Master-side tick: rotate checkpoints, run the failure detector.
+
+        Runs inside :meth:`TerminationMaster.wait_for_termination`'s wait
+        loop (every <= 50 ms).  Raising ``WorkerCrashedError`` from here
+        aborts the run promptly — detection latency is O(heartbeat
+        timeout), not O(global timeout).
+        """
+        if self.master.terminated:
+            return
+        now = time.monotonic()
+        t = now - self._start_time
+        if self._ckpt is not None:
+            self._ckpt.maybe_start(now)
+            snap = self._ckpt.maybe_complete(now, self.master.in_flight)
+            if snap is not None and self.obs is not None:
+                self.obs.log.emit(
+                    obs_events.CHECKPOINT, t, token=snap.token,
+                    workers=snap.num_workers_recorded,
+                    channel_messages=snap.num_channel_messages)
+        if self._detector is None:
+            return
+        for s in self._detector.check(now, alive=self._worker_alive):
+            event = FailureEvent(t=t, kind=s.kind, wid=s.wid,
+                                 detail=f"age={s.age:.3f}s")
+            self.failures.append(event)
+            if not s.fatal:
+                if self.obs is not None:
+                    self.obs.log.emit(obs_events.HEARTBEAT_MISS, t,
+                                      wid=s.wid, age=s.age)
+                continue
+            if self.obs is not None:
+                self.obs.log.emit(obs_events.FAILURE_DETECTED, t, wid=s.wid,
+                                  reason=s.kind, age=s.age)
+            raise WorkerCrashedError(
+                wid=s.wid, reason=s.kind, detected_at=t,
+                checkpoint=self.last_checkpoint, failures=self.failures,
+                detection_latency=s.age)
+
+    def _worker_alive(self, wid: int) -> bool:
+        # a clean exit (master terminated while the poll raced) is not death
+        return self._threads[wid].is_alive() or self._clean_exit[wid]
+
+    def _ft_tick(self, wid: int) -> None:
+        """Worker-side tick: heartbeat, injected crash, checkpoint record."""
+        if self._detector is not None:
+            self._detector.beat(wid, time.monotonic())
+        if self._injector is not None:
+            w = self.workers[wid]
+            if self._injector.crash_due(wid, w.rounds):
+                if self.obs is not None:
+                    self.obs.log.emit(obs_events.FAULT_INJECTED, self._now(),
+                                      wid=wid, round=w.rounds, fault="crash",
+                                      detail=f"round={w.rounds}")
+                raise InjectedCrash(wid, w.rounds)
+        if self._ckpt is not None:
+            coord = self._ckpt.current
+            if coord is not None and not coord.recorded(wid):
+                # record between rounds, atomically with the buffer peek
+                with self._locks[wid]:
+                    coord.record_live(wid, self.engine.contexts[wid],
+                                      self.workers[wid].buffer.peek())
+
+    # ------------------------------------------------------------------
     def _set_status(self, w: WorkerState, status: WorkerStatus) -> None:
         if self.obs is not None and w.status is not status:
             self.obs.log.emit(obs_events.STATUS_CHANGE, self._now(),
@@ -135,8 +302,13 @@ class ThreadedRuntime:
     def _worker_loop(self, wid: int) -> None:
         w = self.workers[wid]
         try:
-            self._run_round(wid, peval=True)
+            if self._ft:
+                self._ft_tick(wid)  # at_round <= 0 crashes before PEval
+            if not self._seeded:
+                self._run_round(wid, peval=True)
             while not self.master.terminated:
+                if self._ft:
+                    self._ft_tick(wid)
                 if self._note_if_inactive(wid):
                     self._events[wid].wait(timeout=0.02)
                     self._events[wid].clear()
@@ -171,10 +343,16 @@ class ThreadedRuntime:
                         # re-evaluate after any state change
                         continue
                 self._run_round(wid, peval=False)
+            self._clean_exit[wid] = True
+        except InjectedCrash:
+            # simulated hard death: no abort, no error report — the
+            # master's failure detector must notice on its own
+            return
         except BaseException as exc:
             # abort releases every worker promptly and keeps the first
             # error; concurrent failures are collected, not overwritten
             self.master.abort(exc)
+            self._clean_exit[wid] = True
 
     def _run_round(self, wid: int, peval: bool) -> None:
         w = self.workers[wid]
@@ -190,6 +368,12 @@ class ThreadedRuntime:
                 self._set_status(w, WorkerStatus.INACTIVE)
                 return
             out = self.engine.run_inceval(wid, batches, round_no=w.rounds)
+        if self._injector is not None:
+            # straggler fault: stretch the round before results ship
+            extra = self._injector.round_slowdown(
+                wid, time.monotonic() - started)
+            if extra > 0:
+                time.sleep(min(extra, self.max_wait))
         if self.obs is not None:
             self.obs.log.emit(obs_events.ROUND_START,
                               started - self._start_time, wid=wid,
@@ -218,18 +402,67 @@ class ThreadedRuntime:
         w.idle_since = time.monotonic() - self._start_time
         self.policy.on_round_complete(self._view(wid), max(duration, 1e-9))
 
+    # ------------------------------------------------------------------
+    # transport: _send decides the fate of a message, _deliver lands it
+    # ------------------------------------------------------------------
     def _send(self, msg) -> None:
-        self.master.message_sent()
         src = self.workers[msg.src]
-        src.messages_sent += 1
-        src.bytes_sent += msg.size_bytes
+        if not self._ft:
+            deliveries = ((msg, 0.0),)
+        else:
+            if self._ckpt is not None:
+                coord = self._ckpt.current
+                if coord is not None:
+                    msg = coord.stamp_outgoing(msg.src, [msg])[0]
+            if self._injector is None:
+                deliveries = ((msg, 0.0),)
+            else:
+                deliveries = self._injector.on_send(msg)
+                self._emit_injections(msg, deliveries)
+                if not deliveries:
+                    # dropped: produced but never reaches the wire
+                    src.messages_sent += 1
+                    src.bytes_sent += msg.size_bytes
+                    return
+        for m, delay in deliveries:
+            self.master.message_sent()
+            src.messages_sent += 1
+            src.bytes_sent += m.size_bytes
+            if self.obs is not None:
+                self.obs.log.emit(obs_events.MSG_SEND, self._now(),
+                                  wid=m.src, round=src.rounds, dst=m.dst,
+                                  bytes=m.size_bytes, seq=m.seq)
+                self.obs.metrics.counter("wire_bytes").inc(m.size_bytes)
+            if delay <= 0:
+                self._deliver(m)
+            else:
+                timer = threading.Timer(delay, self._deliver, args=(m,))
+                timer.daemon = True
+                self._timers.append(timer)
+                timer.start()
+
+    def _emit_injections(self, msg, deliveries) -> None:
+        if self.obs is None:
+            return
+        detail = f"src={msg.src} dst={msg.dst} seq={msg.seq}"
+        if not deliveries:
+            fault = "drop"
+        elif len(deliveries) > 1:
+            fault = "duplicate"
+        elif deliveries[0][1] > 0:
+            fault = "delay"
+        else:
+            return
+        self.obs.log.emit(obs_events.FAULT_INJECTED, self._now(),
+                          wid=msg.src, fault=fault, detail=detail)
+
+    def _deliver(self, msg) -> None:
         dst = self.workers[msg.dst]
-        if self.obs is not None:
-            self.obs.log.emit(obs_events.MSG_SEND, self._now(), wid=msg.src,
-                              round=src.rounds, dst=msg.dst,
-                              bytes=msg.size_bytes, seq=msg.seq)
-            self.obs.metrics.counter("wire_bytes").inc(msg.size_bytes)
         with self._locks[msg.dst]:
+            if self._ft and self._ckpt is not None:
+                coord = self._ckpt.current
+                if coord is not None:
+                    coord.on_deliver(msg.dst, msg, self._now())
             dst.buffer.push(msg)
             now = time.monotonic() - self._start_time
             dst.arrival_rate.observe_arrival(now)

@@ -63,7 +63,8 @@ class TestBoundedStaleness:
         # CF declares needs_bounded_staleness; api.run must honour it:
         # under AAP the fastest worker cannot run away unboundedly
         r = run_cf(g, mode="AAP", epochs=6)
-        assert max(r.rounds) - min(r.rounds) <= 6 + CFProgram().default_staleness_bound
+        bound = CFProgram().default_staleness_bound
+        assert max(r.rounds) - min(r.rounds) <= 6 + bound
 
     def test_explicit_bound(self, ratings):
         g, _, _ = ratings

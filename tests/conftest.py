@@ -1,9 +1,47 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Also provides a per-test watchdog: fault-tolerance tests exercise live
+threads and processes, where a protocol bug shows up as a hang rather than
+a failure.  CI installs ``pytest-timeout`` (see ``.github/workflows`` and
+the ``test`` extra); when that plugin is absent we fall back to a SIGALRM
+alarm per test on Unix so a deadlock still fails loudly instead of
+freezing the suite.
+"""
+
+import os
+import signal
 
 import pytest
 
 from repro import api
 from repro.graph import generators
+
+_FALLBACK_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "180"))
+
+
+def _supports_sigalrm():
+    return hasattr(signal, "SIGALRM") and hasattr(signal, "alarm")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    have_plugin = item.config.pluginmanager.hasplugin("timeout")
+    if have_plugin or not _supports_sigalrm() or _FALLBACK_TIMEOUT <= 0:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded fallback timeout of {_FALLBACK_TIMEOUT:.0f}s "
+            f"(set REPRO_TEST_TIMEOUT to adjust)")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(int(_FALLBACK_TIMEOUT))
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -1,4 +1,5 @@
-"""Tests for the delay-stretch policies: AAP's Eq. (1) and the special cases."""
+"""Tests for the delay-stretch policies: AAP's Eq. (1) and the
+special cases."""
 
 import math
 

@@ -67,6 +67,23 @@ class TestBuffer:
             buf.push(Message(src=src, dst=1, round=0, entries=(("a", 1),)))
         assert buf.distinct_senders() == {0, 3}
 
+    def test_peek_does_not_consume(self):
+        buf = MessageBuffer()
+        a = Message(src=0, dst=1, round=0, entries=(("a", 1),))
+        b = Message(src=2, dst=1, round=0, entries=(("b", 2),))
+        buf.push(a)
+        buf.push(b)
+        assert buf.peek() == [a, b]
+        assert len(buf) == 2
+        assert buf.drain() == [a, b]
+
+    def test_peek_returns_copy(self):
+        buf = MessageBuffer()
+        buf.push(Message(src=0, dst=1, round=0, entries=(("a", 1),)))
+        view = buf.peek()
+        view.clear()
+        assert len(buf) == 1
+
 
 class TestGroupEntries:
     def test_groups_by_node_in_order(self):

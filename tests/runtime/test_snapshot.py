@@ -97,3 +97,28 @@ class TestRecovery:
             lambda: make_policy("BSP"), checkpoint_time=10_000.0)
         assert report.result.answer == analysis.connected_components(
             small_powerlaw)
+
+    def test_request_past_drain_yields_empty_complete_snapshot(self, pg):
+        # request_at lands after the event queue has fully drained: every
+        # worker records at quiescence, so the cut has all worker states,
+        # no in-channel messages, and is still marked complete
+        report = run_with_checkpoint(
+            lambda: Engine(CCProgram(), pg, CCQuery()),
+            lambda: make_policy("AAP"), checkpoint_time=50_000.0)
+        snap = report.snapshot
+        assert snap.complete
+        assert snap.num_workers_recorded == 4
+        assert snap.num_channel_messages == 0
+        assert all(not msgs for msgs in snap.channel_messages.values())
+
+    def test_recover_from_snapshot_under_aap(self, pg, small_powerlaw):
+        # direct recover_from_snapshot with the adaptive policy: seed a
+        # fresh runtime from a mid-run AAP cut and run to fixpoint
+        report = run_with_checkpoint(
+            lambda: Engine(CCProgram(), pg, CCQuery()),
+            lambda: make_policy("AAP"), checkpoint_time=1.0)
+        result = recover_from_snapshot(
+            lambda: Engine(CCProgram(), pg, CCQuery()),
+            lambda: make_policy("AAP"), report.snapshot)
+        assert result.answer == analysis.connected_components(
+            small_powerlaw)
