@@ -1,0 +1,56 @@
+"""Generic vs vectorized kernel speedup bench (standalone script).
+
+Unlike the sibling pytest benches this one is a plain CLI so CI can run
+it at tiny sizes and upload the JSON artifact::
+
+    python benchmarks/bench_kernels.py --graph powerlaw:40000 \
+        --runtimes simulated,threaded,multiprocess --out BENCH_kernels.json
+
+It is equivalent to ``repro bench -e kernels``.  Exits non-zero when any
+vectorized-vs-generic cross-check fails.
+"""
+
+import argparse
+import pathlib
+import sys
+
+try:
+    from repro.bench import kernels
+except ImportError:  # run from a checkout without installing
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]
+                           / "src"))
+    from repro.bench import kernels
+
+from repro.cli import parse_graph
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--graph", default="powerlaw:40000",
+                        help="graph spec (grid:RxC, powerlaw:N, er:N:P, "
+                             "rmat:S, path:N, file:PATH)")
+    parser.add_argument("--fragments", "-m", type=int, default=4)
+    parser.add_argument("--mode", default="AP")
+    parser.add_argument("--runtimes",
+                        default="simulated,threaded,multiprocess",
+                        help="comma-separated subset of "
+                             "simulated,threaded,multiprocess")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument("--out", default="BENCH_kernels.json")
+    args = parser.parse_args(argv)
+
+    graph = parse_graph(args.graph, seed=args.seed)
+    report = kernels.run_kernel_bench(
+        graph, fragments=args.fragments, mode=args.mode,
+        runtimes=kernels.parse_runtimes(args.runtimes),
+        timeout=args.timeout,
+        progress=lambda line: print(line, file=sys.stderr))
+    print(kernels.format_kernel_report(report))
+    kernels.save_report(report, args.out)
+    print(f"wrote {args.out}")
+    return 0 if report["all_match"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,8 @@ class CCProgram(PIEProgram):
     aggregator = Min()
     needs_bounded_staleness = False
     finite_domain = True  # cids are node ids
+    dense_capable = True
+    dense_dtype = "int64"  # cids are (integer) node ids on the dense path
 
     def init_values(self, frag: Fragment, query: CCQuery) -> Dict[Node, Node]:
         return {v: v for v in frag.graph.nodes}
@@ -110,6 +112,67 @@ class CCProgram(PIEProgram):
                 for v in border_members[root]:
                     ctx.set(v, new_cid)
                     ctx.add_work(1)
+
+    # ------------------------------------------------------------------
+    # vectorized kernels (min-label propagation over CSR slices)
+    # ------------------------------------------------------------------
+    def dense_seed(self, frag: Fragment, ctx: Any,
+                   query: CCQuery) -> None:
+        # label of v starts as v itself: the lid -> gid map, verbatim
+        ctx.array[:] = ctx.view.gids
+
+    def dense_peval(self, frag: Fragment, ctx: Any,
+                    query: CCQuery) -> None:
+        import numpy as np
+        self._dense_propagate(frag, ctx,
+                              np.arange(len(ctx.view), dtype=np.int64))
+
+    def dense_inceval(self, frag: Fragment, ctx: Any, activated_lids,
+                      query: CCQuery) -> None:
+        self._dense_propagate(frag, ctx, activated_lids)
+
+    def _dense_propagate(self, frag: Fragment, ctx: Any, seeds) -> None:
+        """Propagate min labels to the local fixpoint (both directions).
+
+        Unlike the generic path, labels of *every* local node stay fresh,
+        so the default owner-values ``dense_assemble`` replaces the
+        root/cid scratch resolution; the global fixpoint (min member id
+        per component) is identical.
+        """
+        import numpy as np
+        from repro.graph.csr import expand_ranges
+        csr = ctx.view.csr
+        labels = ctx.array
+        # undirected CSR already stores each edge both ways; directed
+        # graphs need the reverse adjacency for CC's undirected semantics
+        dirs = [(csr.out_indptr, csr.out_indices)]
+        if csr.directed:
+            dirs.append((csr.in_indptr, csr.in_indices))
+        # boolean scatter + nonzero dedups seeds and each wave's updates
+        # far cheaper than hash-based np.unique on the raw arrays
+        upd = np.zeros(labels.size, dtype=bool)
+        upd[np.asarray(seeds, dtype=np.int64)] = True
+        frontier = np.nonzero(upd)[0]
+        while frontier.size:
+            upd[:] = False
+            for indptr, indices in dirs:
+                starts = indptr[frontier]
+                counts = indptr[frontier + 1] - starts
+                eidx = expand_ranges(starts, counts)
+                ctx.add_work(int(eidx.size))
+                if eidx.size == 0:
+                    continue
+                tgt = indices[eidx]
+                lab = np.repeat(labels[frontier], counts)
+                better = lab < labels[tgt]
+                tgt = tgt[better]
+                lab = lab[better]
+                if tgt.size == 0:
+                    continue
+                np.minimum.at(labels, tgt, lab)
+                upd[tgt] = True
+            ctx.mask |= upd
+            frontier = np.nonzero(upd)[0]
 
     # ------------------------------------------------------------------
     def inc_update(self, frag: Fragment, ctx: FragmentContext,

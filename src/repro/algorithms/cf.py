@@ -64,6 +64,9 @@ class CFProgram(PIEProgram):
     needs_bounded_staleness = True
     default_staleness_bound = 2
     finite_domain = False
+    # destinations() depends on self.aggregation, so engines must not
+    # memoize routing per program *class*
+    cacheable_routes = False
 
     #: message aggregation schemes: "gossip" ships every fragment's deltas
     #: to every co-holder (fast convergence per epoch, more traffic);

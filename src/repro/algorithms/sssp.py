@@ -42,6 +42,8 @@ class SSSPProgram(PIEProgram):
     needs_bounded_staleness = False
     # distances come from sums over the finite set of edge weights
     finite_domain = True
+    dense_capable = True
+    dense_dtype = "float64"
 
     def init_values(self, frag: Fragment, query: SSSPQuery
                     ) -> Dict[Node, float]:
@@ -65,7 +67,10 @@ class SSSPProgram(PIEProgram):
         g = frag.graph
         heap = []
         seq = 0
-        for v in sorted(seeds, key=repr):
+        # seeds go in unsorted: heapify orders by distance and the final
+        # fixpoint is seed-order independent (ties only affect visit
+        # order, never the min over path sums)
+        for v in seeds:
             d = ctx.get(v)
             if d < INF:
                 heap.append((d, seq, v))
@@ -88,6 +93,76 @@ class SSSPProgram(PIEProgram):
                     ctx.set(u, nd)
                     heapq.heappush(heap, (nd, seq, u))
                     seq += 1
+
+    # ------------------------------------------------------------------
+    # vectorized kernels (frontier-based relaxation over the CSR view)
+    # ------------------------------------------------------------------
+    def dense_seed(self, frag: Fragment, ctx: Any,
+                   query: SSSPQuery) -> None:
+        ctx.array.fill(INF)
+        src = ctx.view.lid_of.get(query.source)
+        if src is not None:
+            ctx.array[src] = 0.0
+
+    def dense_peval(self, frag: Fragment, ctx: Any,
+                    query: SSSPQuery) -> None:
+        import numpy as np
+        src = ctx.view.lid_of.get(query.source)
+        if src is not None:
+            self._dense_relax(frag, ctx,
+                              np.asarray([src], dtype=np.int64))
+
+    def dense_inceval(self, frag: Fragment, ctx: Any, activated_lids,
+                      query: SSSPQuery) -> None:
+        self._dense_relax(frag, ctx, activated_lids)
+
+    def _dense_relax(self, frag: Fragment, ctx: Any, seeds) -> None:
+        """Wave relaxation to the local fixpoint via ``np.minimum.at``.
+
+        Computes the same min over left-to-right path sums as
+        :meth:`_dijkstra` (floats included: ``min`` is exact and each
+        path's sum is evaluated in the same order), so the cross-check
+        against the generic path is exact equality.
+        """
+        import numpy as np
+        from repro.graph.csr import expand_ranges
+        csr = ctx.view.csr
+        indptr = csr.out_indptr
+        indices = csr.out_indices
+        weights = csr.out_weights
+        dist = ctx.array
+        # boolean scatter + nonzero dedups seeds and each wave's updates
+        # far cheaper than hash-based np.unique on the raw arrays
+        upd = np.zeros(dist.size, dtype=bool)
+        upd[np.asarray(seeds, dtype=np.int64)] = True
+        upd &= np.isfinite(dist)
+        frontier = np.nonzero(upd)[0]
+        # under edge-cut, mirrors never relax locally (the owner holds
+        # all their out-edges); under vertex-cut every copy relaxes
+        relax_ok = ctx.view.owned_mask if frag.cut == "edge" else None
+        while frontier.size:
+            if relax_ok is not None:
+                frontier = frontier[relax_ok[frontier]]
+            if frontier.size == 0:
+                break
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            eidx = expand_ranges(starts, counts)
+            ctx.add_work(int(frontier.size + eidx.size))
+            if eidx.size == 0:
+                break
+            tgt = indices[eidx]
+            nd = np.repeat(dist[frontier], counts) + weights[eidx]
+            improving = nd < dist[tgt]
+            tgt = tgt[improving]
+            nd = nd[improving]
+            if tgt.size == 0:
+                break
+            np.minimum.at(dist, tgt, nd)
+            upd[:] = False
+            upd[tgt] = True
+            ctx.mask |= upd
+            frontier = np.nonzero(upd)[0]
 
     # ------------------------------------------------------------------
     def inc_update(self, frag: Fragment, ctx: FragmentContext,

@@ -54,6 +54,7 @@ def run(program: PIEProgram, graph_or_partition: Union[Graph,
         staleness_bound: Optional[int] = None,
         record_trace: bool = True,
         observer: Optional[Any] = None,
+        vectorized: bool = False,
         **policy_kwargs: Any) -> RunResult:
     """Parallelise ``program`` on ``graph`` under one parallel model.
 
@@ -63,6 +64,9 @@ def run(program: PIEProgram, graph_or_partition: Union[Graph,
     and no bound is given, its default bound is applied (the paper: CF).
     ``observer`` (a :class:`repro.obs.Observer`) enables structured event
     and metrics recording; the default ``None`` records nothing.
+    ``vectorized`` opts into the dense fast path (see
+    ``docs/performance.md``); it silently falls back to the generic path
+    when the program or partition does not support it.
     """
     if isinstance(graph_or_partition, PartitionedGraph):
         pg = graph_or_partition
@@ -77,7 +81,7 @@ def run(program: PIEProgram, graph_or_partition: Union[Graph,
     if policy is None:
         policy = make_policy(mode, staleness_bound=staleness_bound,
                              **policy_kwargs)
-    engine = Engine(program, pg, query)
+    engine = Engine(program, pg, query, vectorized=vectorized)
     runtime = SimulatedRuntime(engine, policy, cost_model=cost_model,
                                hosts=hosts, record_trace=record_trace,
                                observer=observer)

@@ -122,7 +122,8 @@ def cmd_run(args) -> int:
     result = api.run(program, graph, query, mode=args.mode,
                      num_fragments=args.fragments, partitioner=partitioner,
                      cost_model=_cost_model(args),
-                     record_trace=bool(args.report))
+                     record_trace=bool(args.report),
+                     vectorized=args.vectorized)
     if args.report:
         from repro.runtime.report import write_report
         write_report(result, args.report, include_trace=True,
@@ -269,6 +270,17 @@ def cmd_info(args) -> int:
 def cmd_bench(args) -> int:
     from repro.bench import experiments, reporting
     name = args.experiment.lower()
+    if name == "kernels":
+        from repro.bench import kernels
+        graph = parse_graph(args.kernels_graph, seed=args.seed)
+        report = kernels.run_kernel_bench(
+            graph, fragments=args.fragments, mode=args.mode,
+            runtimes=kernels.parse_runtimes(args.runtimes),
+            progress=lambda line: print(line, file=sys.stderr))
+        print(kernels.format_kernel_report(report))
+        kernels.save_report(report, args.out)
+        print(f"wrote {args.out}")
+        return 0 if report["all_match"] else 1
     if name == "table1":
         rows = experiments.run_table1(num_workers=args.fragments)
         print(reporting.format_table(
@@ -321,6 +333,10 @@ def make_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--mode", default="AAP", choices=list(MODES))
     p_run.add_argument("--report", default=None,
                        help="write a JSON run report (with trace) here")
+    p_run.add_argument("--vectorized", action="store_true",
+                       help="use the dense numpy fast path when the "
+                            "algorithm/partition supports it "
+                            "(see docs/performance.md)")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="run under every parallel model")
@@ -387,6 +403,16 @@ def make_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("bench", help="run a named experiment")
     common(p_bench, algorithm=False)
     p_bench.add_argument("--experiment", "-e", default="table1")
+    p_bench.add_argument("--kernels-graph", default="powerlaw:40000",
+                         help="graph spec for -e kernels (default is a "
+                              "~120k-edge power-law graph)")
+    p_bench.add_argument("--runtimes",
+                         default="simulated,threaded,multiprocess",
+                         help="comma-separated runtimes for -e kernels")
+    p_bench.add_argument("--mode", default="AP", choices=list(MODES),
+                         help="parallel model for -e kernels")
+    p_bench.add_argument("--out", default="BENCH_kernels.json",
+                         help="JSON report path for -e kernels")
     p_bench.set_defaults(func=cmd_bench)
     return parser
 

@@ -1,0 +1,270 @@
+"""Array-backed fragment state for the vectorized fast path.
+
+:class:`DenseContext` is a drop-in variant of
+:class:`repro.core.pie.FragmentContext` that stores every status variable
+in one numpy array indexed by *local id* (the contiguous ids of the
+fragment's cached :class:`~repro.partition.fragment.FragmentCSR` view) and
+tracks changes with a boolean mask instead of a Python set.
+
+The scalar API (``get``/``set``/``values``/``changed``) is preserved so
+runtimes, checkpoints, and Assemble keep working unchanged; vectorized
+kernels bypass it and operate on :attr:`DenseContext.array` /
+:attr:`DenseContext.mask` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.core.aggregators import Aggregator
+from repro.core.pie import FragmentContext, Node, PIEProgram
+from repro.errors import PartitionError, ProgramError
+from repro.partition.fragment import Fragment, PartitionedGraph
+
+
+def supports_dense(program: PIEProgram, pg: PartitionedGraph) -> bool:
+    """Whether the vectorized fast path applies to ``(program, pg)``.
+
+    Requires the program to declare dense kernels (``dense_capable``) and
+    every fragment to admit an array view (non-negative integer node ids).
+    Callers fall back to the generic path when this returns ``False``.
+    """
+    if not getattr(program, "dense_capable", False):
+        return False
+    try:
+        for frag in pg:
+            frag.compact()
+    except PartitionError:
+        return False
+    return True
+
+
+def aggregator_ufunc(agg: Aggregator):
+    """The numpy ufunc implementing ``f_aggr``, or ``None`` if unknown."""
+    return {"min": np.minimum, "max": np.maximum,
+            "sum": np.add}.get(agg.name)
+
+
+def apply_aggregated(agg: Aggregator, array: np.ndarray,
+                     lids: np.ndarray, payloads: np.ndarray) -> np.ndarray:
+    """Aggregate ``payloads`` into ``array`` at ``lids`` via ``f_aggr``.
+
+    The vectorized form of ``M_i = f_aggr(B ∪ C_i.x̄)``: duplicate lids are
+    combined by the ufunc's unbuffered ``at`` form.  Returns the unique
+    lids whose value actually changed.
+    """
+    ufunc = aggregator_ufunc(agg)
+    if ufunc is None:
+        raise ProgramError(
+            f"aggregator {agg.name!r} has no vectorized form")
+    seen = np.zeros(array.size, dtype=bool)
+    seen[lids] = True
+    uniq = np.nonzero(seen)[0]
+    prev = array[uniq]
+    ufunc.at(array, lids, payloads)
+    return uniq[array[uniq] != prev]
+
+
+def assemble_owner_values(pg: PartitionedGraph,
+                          contexts) -> Dict[Node, Any]:
+    """Default dense Assemble: each node's value at its owner fragment.
+
+    Selects owned rows through the fragment's ``owned_mask`` (partitioners
+    build ``pg.owner`` from exactly those owned sets, so the mask and the
+    owner map agree) and materialises Python scalars in one ``tolist``
+    pass per fragment instead of a per-node dict lookup.
+    """
+    out: Dict[Node, Any] = {}
+    for ctx in contexts:
+        view = ctx.view
+        sel = np.nonzero(view.owned_mask)[0]
+        out.update(zip(view.gids[sel].tolist(),
+                       ctx.array[sel].tolist()))
+    return out
+
+
+class _DenseValues(Mapping):
+    """Read-mostly mapping view over a :class:`DenseContext` array.
+
+    Behaves like the generic context's ``values`` dict for every consumer
+    in the tree: ``dict(ctx.values)`` and iteration yield Python scalars,
+    ``update`` loads a mapping back into the array, and ``deepcopy``
+    (checkpoints) materialises a plain dict.
+    """
+
+    __slots__ = ("_ctx",)
+
+    def __init__(self, ctx: "DenseContext"):
+        self._ctx = ctx
+
+    def __getitem__(self, v: Node) -> Any:
+        lid = self._ctx.view.lid_of.get(v)
+        if lid is None:
+            raise KeyError(v)
+        return self._ctx.array[lid].item()
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._ctx.view.nodes)
+
+    def __len__(self) -> int:
+        return len(self._ctx.view.nodes)
+
+    def __contains__(self, v: object) -> bool:
+        return v in self._ctx.view.lid_of
+
+    def clear(self) -> None:
+        """No-op: the array keeps its shape; ``update`` overwrites."""
+
+    def update(self, mapping: Mapping[Node, Any]) -> None:
+        self._ctx.load_values(mapping)
+
+    def __deepcopy__(self, memo) -> Dict[Node, Any]:
+        arr = self._ctx.array.tolist()
+        return {v: arr[i] for i, v in enumerate(self._ctx.view.nodes)}
+
+
+class _ChangedView:
+    """Set-like facade over the changed-lid boolean mask (global ids)."""
+
+    __slots__ = ("_ctx",)
+
+    def __init__(self, ctx: "DenseContext"):
+        self._ctx = ctx
+
+    def add(self, v: Node) -> None:
+        self._ctx.mask[self._ctx.view.lid_of[v]] = True
+
+    def update(self, nodes: Iterable[Node]) -> None:
+        for v in nodes:
+            self.add(v)
+
+    def discard(self, v: Node) -> None:
+        lid = self._ctx.view.lid_of.get(v)
+        if lid is not None:
+            self._ctx.mask[lid] = False
+
+    def clear(self) -> None:
+        self._ctx.mask[:] = False
+
+    def __iter__(self) -> Iterator[Node]:
+        gids = self._ctx.view.gids
+        for i in np.nonzero(self._ctx.mask)[0]:
+            yield int(gids[i])
+
+    def __len__(self) -> int:
+        return int(self._ctx.mask.sum())
+
+    def __bool__(self) -> bool:
+        return bool(self._ctx.mask.any())
+
+    def __contains__(self, v: object) -> bool:
+        lid = self._ctx.view.lid_of.get(v)
+        return lid is not None and bool(self._ctx.mask[lid])
+
+    def __eq__(self, other: object) -> bool:
+        try:
+            return set(self) == set(other)  # type: ignore[arg-type]
+        except TypeError:
+            return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"_ChangedView({set(self)!r})"
+
+
+class DenseContext(FragmentContext):
+    """Array-backed :class:`FragmentContext` over contiguous local ids.
+
+    - :attr:`array` holds the status variables (``array[lid]``);
+    - :attr:`mask` is the changed-tracking boolean mask;
+    - :attr:`view` is the fragment's cached CSR view
+      (:meth:`Fragment.compact`).
+
+    ``values`` / ``changed`` stay available as compatible facades so
+    snapshot seeding, checkpoint capture, and generic Assemble code keep
+    working on dense contexts.
+    """
+
+    __slots__ = ("view", "array", "mask")
+
+    def __init__(self, fragment: Fragment, aggregator: Aggregator,
+                 init_values: "Mapping[Node, Any] | None" = None,
+                 dtype: str = "float64"):
+        self.fragment = fragment
+        self.aggregator = aggregator
+        self.scratch = {}
+        self.work = 0
+        self.round = 0
+        view = fragment.compact()
+        self.view = view
+        self.array = np.empty(len(view), dtype=np.dtype(dtype))
+        self.mask = np.zeros(len(view), dtype=bool)
+        if init_values is not None:
+            self.load_values(init_values)
+
+    # -- facades over the array/mask -----------------------------------
+    @property
+    def values(self) -> _DenseValues:
+        return _DenseValues(self)
+
+    @values.setter
+    def values(self, mapping: Mapping[Node, Any]) -> None:
+        self.load_values(mapping)
+
+    @property
+    def changed(self) -> _ChangedView:
+        return _ChangedView(self)
+
+    @changed.setter
+    def changed(self, nodes: Iterable[Node]) -> None:
+        self.mask[:] = False
+        for v in nodes:
+            self.mask[self.view.lid_of[v]] = True
+
+    def load_values(self, mapping: Mapping[Node, Any]) -> None:
+        """Bulk-assign status variables from a ``node -> value`` mapping."""
+        arr = self.array
+        lid_of = self.view.lid_of
+        for v, value in mapping.items():
+            lid = lid_of.get(v)
+            if lid is None:
+                raise ProgramError(
+                    f"node {v!r} has no status variable on fragment "
+                    f"{self.fragment.fid}")
+            arr[lid] = value
+
+    # -- scalar status variable access (generic-path compatibility) ----
+    def get(self, v: Node) -> Any:
+        lid = self.view.lid_of.get(v)
+        if lid is None:
+            raise ProgramError(
+                f"node {v!r} has no status variable on fragment "
+                f"{self.fragment.fid}")
+        return self.array[lid].item()
+
+    def set(self, v: Node, value: Any) -> bool:
+        lid = self.view.lid_of.get(v)
+        if lid is None:
+            raise ProgramError(
+                f"node {v!r} has no status variable on fragment "
+                f"{self.fragment.fid}")
+        if self.array[lid] == value:
+            return False
+        self.array[lid] = value
+        self.mask[lid] = True
+        return True
+
+    def set_silent(self, v: Node, value: Any) -> None:
+        lid = self.view.lid_of.get(v)
+        if lid is None:
+            raise ProgramError(
+                f"node {v!r} has no status variable on fragment "
+                f"{self.fragment.fid}")
+        self.array[lid] = value
+
+    def take_changed(self):
+        gids = self.view.gids
+        lids = np.nonzero(self.mask)[0]
+        self.mask[:] = False
+        return {int(gids[i]) for i in lids}

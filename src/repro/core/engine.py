@@ -12,14 +12,23 @@ operations every runtime schedules:
 Scheduling (when each operation runs and what the delay stretches are) is the
 runtime's job; the engine is schedule-agnostic, which is what makes the
 Church-Rosser tests meaningful.
+
+With ``vectorized=True`` the engine routes the same three operations through
+the program's dense kernels over array-backed contexts
+(:mod:`repro.core.dense`) and packs outgoing traffic into
+:class:`~repro.core.messages.MessageBatch` — one batch per ``(dst, round)``
+instead of one entry-list message.  The flag silently degrades to the
+generic path when the program or partition does not support it, so callers
+can pass it unconditionally.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Set
+from typing import Any, Dict, Hashable, List, Sequence, Set
 
-from repro.core.messages import Message, group_entries, make_messages
+from repro.core.messages import (Message, MessageBatch, group_entries,
+                                 make_messages)
 from repro.core.pie import FragmentContext, PIEProgram
 from repro.errors import ProgramError
 from repro.partition.fragment import PartitionedGraph
@@ -45,23 +54,81 @@ class RoundOutput:
 class Engine:
     """Program + partitioned graph + query, with per-fragment contexts."""
 
-    def __init__(self, program: PIEProgram, pg: PartitionedGraph, query: Any):
+    def __init__(self, program: PIEProgram, pg: PartitionedGraph, query: Any,
+                 vectorized: bool = False):
         self.program = program
         self.pg = pg
         self.query = query
-        self.contexts: List[FragmentContext] = [
-            program.make_context(frag, query) for frag in pg]
-        self._ship_sets = [program.ship_set(frag) for frag in pg]
-        for frag, ship in zip(pg, self._ship_sets):
-            stray = [v for v in ship if not frag.locations(v)]
-            if stray:
-                raise ProgramError(
-                    f"ship set of fragment {frag.fid} contains node "
-                    f"{stray[0]!r} that resides nowhere else")
+        if vectorized:
+            from repro.core.dense import supports_dense
+            self.vectorized = supports_dense(program, pg)
+        else:
+            self.vectorized = False
+        if self.vectorized:
+            self.contexts: List[FragmentContext] = [
+                program.make_dense_context(frag, query) for frag in pg]
+        else:
+            self.contexts = [
+                program.make_context(frag, query) for frag in pg]
+        # ship sets and dense routes are pure functions of the partition
+        # (unless the program says otherwise), so they are memoized on the
+        # fragments: repeated engine builds over the same PartitionedGraph
+        # — every run of a query class — skip the Python-loop setup cost
+        cacheable = getattr(program, "cacheable_routes", True)
+        cls = type(program)
+        self._ship_sets = [
+            frag.memo(("ship_set", cls),
+                      lambda f=frag: self._checked_ship_set(f))
+            if cacheable else self._checked_ship_set(frag)
+            for frag in pg]
+        if self.vectorized:
+            self._dense_routes = []
+            self._dense_ship_masks = []
+            for wid, frag in enumerate(pg):
+                routes, ship_mask = (
+                    frag.memo(("dense_routes", cls),
+                              lambda w=wid, f=frag:
+                              self._build_dense_routes(w, f))
+                    if cacheable else self._build_dense_routes(wid, frag))
+                self._dense_routes.append(routes)
+                self._dense_ship_masks.append(ship_mask)
 
     @property
     def num_workers(self) -> int:
         return self.pg.num_fragments
+
+    def _checked_ship_set(self, frag) -> Any:
+        """The program's ship set, validated against the routing index."""
+        ship = self.program.ship_set(frag)
+        stray = [v for v in ship if not frag.locations(v)]
+        if stray:
+            raise ProgramError(
+                f"ship set of fragment {frag.fid} contains node "
+                f"{stray[0]!r} that resides nowhere else")
+        return ship
+
+    def _build_dense_routes(self, wid: int, frag) -> Any:
+        """Precompute one fragment's routing masks for batched derivation.
+
+        ``destinations`` depends only on the partition, so we bake one
+        boolean lid-mask per destination plus the union ship mask;
+        deriving a round's batches is then pure masking.
+        """
+        import numpy as np
+        view = frag.compact()
+        routes: Dict[int, Any] = {}
+        ship_mask = np.zeros(len(view), dtype=bool)
+        for v in self._ship_sets[wid]:
+            dests = self.program.destinations(self.pg, frag, v)
+            if not dests:
+                continue
+            lid = view.lid_of[v]
+            ship_mask[lid] = True
+            for dst in dests:
+                if dst not in routes:
+                    routes[dst] = np.zeros(len(view), dtype=bool)
+                routes[dst][lid] = True
+        return routes, ship_mask
 
     # ------------------------------------------------------------------
     def run_peval(self, wid: int) -> RoundOutput:
@@ -69,7 +136,10 @@ class Engine:
         frag = self.pg.fragments[wid]
         ctx = self.contexts[wid]
         ctx.round = 0
-        self.program.peval(frag, ctx, self.query)
+        if self.vectorized:
+            self.program.dense_peval(frag, ctx, self.query)
+        else:
+            self.program.peval(frag, ctx, self.query)
         work = ctx.take_work()
         messages = self.derive_messages(wid, round_no=0)
         return RoundOutput(wid=wid, round=0, work=work, messages=messages)
@@ -77,6 +147,8 @@ class Engine:
     def run_inceval(self, wid: int, batches: Sequence[Message],
                     round_no: int) -> RoundOutput:
         """One incremental round: aggregate ``batches`` then run IncEval."""
+        if self.vectorized:
+            return self._run_inceval_dense(wid, batches, round_no)
         frag = self.pg.fragments[wid]
         ctx = self.contexts[wid]
         ctx.round = round_no
@@ -96,9 +168,52 @@ class Engine:
         return RoundOutput(wid=wid, round=round_no, work=work,
                            messages=messages, activated=len(activated))
 
+    def _run_inceval_dense(self, wid: int, batches: Sequence[Any],
+                           round_no: int) -> RoundOutput:
+        """Dense round: concatenate batch arrays, aggregate, IncEval."""
+        import numpy as np
+        frag = self.pg.fragments[wid]
+        ctx = self.contexts[wid]
+        ctx.round = round_no
+        ids_parts: List[Any] = []
+        payload_parts: List[Any] = []
+        for m in batches:
+            if isinstance(m, MessageBatch):
+                ids_parts.append(np.asarray(m.ids, dtype=np.int64))
+                payload_parts.append(
+                    np.asarray(m.payloads, dtype=ctx.array.dtype))
+            elif len(m):
+                nodes, vals = zip(*m.entries)
+                ids_parts.append(np.asarray(nodes, dtype=np.int64))
+                payload_parts.append(
+                    np.asarray(vals, dtype=ctx.array.dtype))
+        activated = np.empty(0, dtype=np.int64)
+        if ids_parts:
+            gids = np.concatenate(ids_parts)
+            payloads = np.concatenate(payload_parts)
+            lids = ctx.view.lids_for(gids)
+            bad = np.nonzero(lids < 0)[0]
+            if bad.size:
+                raise ProgramError(
+                    f"fragment {wid} received update for non-local node "
+                    f"{int(gids[bad[0]])!r}")
+            ctx.add_work(int(lids.size))
+            activated = self.program.dense_apply_incoming(
+                frag, ctx, lids, payloads)
+        if activated.size:
+            ctx.mask[activated] = True
+            self.program.dense_inceval(frag, ctx, activated, self.query)
+        work = ctx.take_work()
+        messages = self.derive_messages(wid, round_no=round_no)
+        return RoundOutput(wid=wid, round=round_no, work=work,
+                           messages=messages,
+                           activated=int(activated.size))
+
     def derive_messages(self, wid: int, round_no: int,
                         token: Any = None) -> List[Message]:
         """Group changed candidate values into designated messages."""
+        if self.vectorized:
+            return self._derive_dense(wid, round_no, token=token)
         frag = self.pg.fragments[wid]
         ctx = self.contexts[wid]
         ship = self._ship_sets[wid]
@@ -121,6 +236,45 @@ class Engine:
         return make_messages(wid, round_no, per_dest, token=token,
                              entry_bytes=entry_bytes)
 
+    def _derive_dense(self, wid: int, round_no: int,
+                      token: Any = None) -> List[MessageBatch]:
+        """Pack the round's changed candidates into per-destination
+        batches."""
+        import numpy as np
+        frag = self.pg.fragments[wid]
+        ctx = self.contexts[wid]
+        cand = ctx.mask & self._dense_ship_masks[wid]
+        ctx.mask[:] = False
+        lids = np.nonzero(cand)[0]
+        if lids.size == 0:
+            return []
+        keep = np.asarray(
+            self.program.dense_should_ship(frag, ctx, lids), dtype=bool)
+        held = lids[~keep]
+        if held.size:
+            # held-back lids stay marked so a later round reconsiders them
+            ctx.mask[held] = True
+        lids = lids[keep]
+        if lids.size == 0:
+            return []
+        payloads = np.asarray(self.program.dense_emit(frag, ctx, lids))
+        gids = ctx.view.gids[lids]
+        entry_bytes = self.program.value_size_bytes(None)
+        out: List[MessageBatch] = []
+        routes = self._dense_routes[wid]
+        for dst in sorted(routes):
+            sel = routes[dst][lids]
+            if not np.any(sel):
+                continue
+            out.append(MessageBatch(
+                src=wid, dst=dst, round=round_no, ids=gids[sel],
+                payloads=payloads[sel], token=token,
+                entry_bytes=entry_bytes))
+        return out
+
     def assemble(self) -> Any:
         """Apply Assemble to the partial results of all workers."""
+        if self.vectorized:
+            return self.program.dense_assemble(self.pg, self.contexts,
+                                               self.query)
         return self.program.assemble(self.pg, self.contexts, self.query)

@@ -52,6 +52,50 @@ class Message:
         return len(self.entries)
 
 
+@dataclass(frozen=True, eq=False)
+class MessageBatch:
+    """A packed designated message: all entries for one ``(dst, round)``.
+
+    The vectorized engine coalesces every changed candidate bound for the
+    same destination into one batch of parallel numpy arrays (``ids`` holds
+    global node ids, ``payloads`` the shipped values), so the multiprocess
+    runtime pays one ``queue.put``/pickle per destination per round instead
+    of one per node.  ``len(batch)`` is the *logical* entry count, which is
+    what the termination ledger and the checkpoint conservation counters
+    track; :attr:`size_bytes` is the packed wire size.
+    """
+
+    src: int
+    dst: int
+    round: int
+    ids: Any       # np.ndarray[int64] of global node ids
+    payloads: Any  # np.ndarray aligned with ids
+    #: monotonically increasing id used for deterministic tie-breaking
+    seq: int = field(default_factory=lambda: next(_seq))
+    #: protocol flags (e.g. Chandy-Lamport snapshot token)
+    token: Any = None
+    #: per-entry size of the equivalent unpacked message (reporting only)
+    entry_bytes: int = ENTRY_BYTES
+
+    @property
+    def entries(self) -> Tuple[Tuple[Node, Any], ...]:
+        """Materialise ``(node, value)`` pairs (generic-path compatibility,
+        checkpoint replay into non-vectorized engines)."""
+        return tuple(zip(self.ids.tolist(), self.payloads.tolist()))
+
+    @property
+    def size_bytes(self) -> int:
+        return ENVELOPE_BYTES + self.ids.nbytes + self.payloads.nbytes
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+
+def entry_count(messages: Iterable[Any]) -> int:
+    """Total logical entries across messages (the ledger's currency)."""
+    return sum(len(m) for m in messages)
+
+
 def make_messages(src: int, round_no: int,
                   per_destination: Dict[int, List[Tuple[Node, Any]]],
                   token: Any = None,
@@ -115,8 +159,13 @@ class MessageBuffer:
         return bool(self._messages)
 
 
-def group_entries(messages: Iterable[Message]) -> Dict[Node, List[Any]]:
-    """Group buffered entries by node, preserving arrival order."""
+def group_entries(messages: Iterable[Any]) -> Dict[Node, List[Any]]:
+    """Group buffered entries by node, preserving arrival order.
+
+    Accepts both :class:`Message` and :class:`MessageBatch` (whose
+    ``entries`` property unpacks the arrays), so a generic engine can
+    consume batches produced by a vectorized peer.
+    """
     grouped: Dict[Node, List[Any]] = {}
     for msg in messages:
         for node, value in msg.entries:

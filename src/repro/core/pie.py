@@ -123,6 +123,16 @@ class PIEProgram(abc.ABC):
     default_staleness_bound: int = 5
     #: True when the value domain is finite given a graph (condition T1)
     finite_domain: bool = True
+    #: True when the program provides vectorized dense kernels
+    #: (``dense_peval``/``dense_inceval`` over a :class:`DenseContext`)
+    dense_capable: bool = False
+    #: numpy dtype name of the dense status-variable array
+    dense_dtype: str = "float64"
+    #: True when ``ship_set``/``destinations`` are pure functions of the
+    #: partition, letting engines memoize routing per fragment + program
+    #: class; set False when routing depends on instance state (e.g. CF's
+    #: configurable aggregation topology)
+    cacheable_routes: bool = True
 
     # ------------------------------------------------------------------
     # declarations
@@ -242,6 +252,48 @@ class PIEProgram(abc.ABC):
         return 16
 
     # ------------------------------------------------------------------
+    # vectorized fast path (opt-in; see docs/performance.md)
+    # ------------------------------------------------------------------
+    def dense_peval(self, frag: Fragment, ctx: "FragmentContext",
+                    query: Any) -> None:
+        """Vectorized batch algorithm over ``ctx.array`` (round 0).
+
+        Only called when :attr:`dense_capable` is True; must produce the
+        same Assemble output as :meth:`peval` (the equivalence tests
+        enforce it).
+        """
+        raise ProgramError(f"{self.name} has no dense PEval")
+
+    def dense_inceval(self, frag: Fragment, ctx: "FragmentContext",
+                      activated_lids: Any, query: Any) -> None:
+        """Vectorized incremental step; ``activated_lids`` is an int
+        array of local ids whose update parameter just changed."""
+        raise ProgramError(f"{self.name} has no dense IncEval")
+
+    def dense_emit(self, frag: Fragment, ctx: "FragmentContext",
+                   lids: Any) -> Any:
+        """Payload array to ship for the changed local ids ``lids``."""
+        return ctx.array[lids]
+
+    def dense_should_ship(self, frag: Fragment, ctx: "FragmentContext",
+                          lids: Any) -> Any:
+        """Boolean keep-mask over ``lids``; default ships everything."""
+        import numpy as np
+        return np.ones(len(lids), dtype=bool)
+
+    def dense_apply_incoming(self, frag: Fragment, ctx: "FragmentContext",
+                             lids: Any, payloads: Any) -> Any:
+        """Aggregate incoming payload arrays; return changed unique lids."""
+        from repro.core.dense import apply_aggregated
+        return apply_aggregated(self.aggregator, ctx.array, lids, payloads)
+
+    def dense_assemble(self, pg: PartitionedGraph, contexts: Sequence[Any],
+                       query: Any) -> Any:
+        """Assemble from dense contexts; default: owner-fragment values."""
+        from repro.core.dense import assemble_owner_values
+        return assemble_owner_values(pg, contexts)
+
+    # ------------------------------------------------------------------
     def make_context(self, frag: Fragment, query: Any) -> FragmentContext:
         """Build the initial per-fragment context (engine entry point)."""
         init = self.init_values(frag, query)
@@ -251,6 +303,29 @@ class PIEProgram(abc.ABC):
                 f"init_values missed {len(missing)} local nodes on fragment "
                 f"{frag.fid} (e.g. {missing[0]!r})")
         return FragmentContext(frag, self.aggregator, init)
+
+    def make_dense_context(self, frag: Fragment,
+                           query: Any) -> FragmentContext:
+        """Build the array-backed context for the vectorized path."""
+        from repro.core.dense import DenseContext
+        ctx = DenseContext(frag, self.aggregator, dtype=self.dense_dtype)
+        self.dense_seed(frag, ctx, query)
+        return ctx
+
+    def dense_seed(self, frag: Fragment, ctx: Any, query: Any) -> None:
+        """Fill ``ctx.array`` with the initial status variables.
+
+        The default routes through :meth:`init_values` (a Python dict),
+        which is correct but pays a per-node loop; dense-capable programs
+        override this with a direct array fill.
+        """
+        init = self.init_values(frag, query)
+        missing = [v for v in frag.graph.nodes if v not in init]
+        if missing:
+            raise ProgramError(
+                f"init_values missed {len(missing)} local nodes on fragment "
+                f"{frag.fid} (e.g. {missing[0]!r})")
+        ctx.load_values(init)
 
     @property
     def name(self) -> str:

@@ -21,6 +21,16 @@ from repro.graph.graph import Graph, Node
 INF = math.inf
 
 
+def _is_csr(g) -> bool:
+    """True for :class:`~repro.graph.csr.CompactGraph`-like backends.
+
+    The zero-copy accessors (``out_arrays``/``out_indptr``) let the
+    reference algorithms skip the per-call ``tolist()+zip``
+    materialisation of :meth:`out_edges`.
+    """
+    return hasattr(g, "out_arrays")
+
+
 def dijkstra(g: Graph, source: Node) -> Dict[Node, float]:
     """Single-source shortest distances with a binary heap.
 
@@ -28,6 +38,8 @@ def dijkstra(g: Graph, source: Node) -> Dict[Node, float]:
     """
     if not g.has_node(source):
         raise GraphError(f"unknown source: {source!r}")
+    if _is_csr(g):
+        return _dijkstra_csr(g, source)
     dist: Dict[Node, float] = {v: INF for v in g.nodes}
     dist[source] = 0.0
     heap: List[Tuple[float, int, Node]] = [(0.0, 0, source)]
@@ -47,6 +59,33 @@ def dijkstra(g: Graph, source: Node) -> Dict[Node, float]:
     return dist
 
 
+def _dijkstra_csr(g, source: int) -> Dict[Node, float]:
+    """Dijkstra over zero-copy CSR views: same floats, no edge tuples."""
+    import numpy as np
+    n = g.num_nodes
+    dist = np.full(n, INF, dtype=np.float64)
+    dist[source] = 0.0
+    if g.out_weights.size and float(g.out_weights.min()) < 0:
+        raise GraphError("Dijkstra requires non-negative weights")
+    heap: List[Tuple[float, int, int]] = [(0.0, 0, source)]
+    seq = 1
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        nbrs, wts = g.out_arrays(v)
+        nds = d + wts
+        better = np.nonzero(nds < dist[nbrs])[0]
+        for i in better.tolist():
+            u = int(nbrs[i])
+            nd = float(nds[i])
+            if nd < dist[u]:
+                dist[u] = nd
+                heapq.heappush(heap, (nd, seq, u))
+                seq += 1
+    return dict(enumerate(dist.tolist()))
+
+
 def connected_components(g: Graph) -> Dict[Node, Node]:
     """Map each node to the minimum node id of its (weakly)
     connected component.
@@ -54,6 +93,8 @@ def connected_components(g: Graph) -> Dict[Node, Node]:
     Works on the undirected view of directed graphs, matching the paper's CC.
     Node ids must be totally ordered for ``min`` to be defined.
     """
+    if _is_csr(g):
+        return _connected_components_csr(g)
     seen: Set[Node] = set()
     comp: Dict[Node, Node] = {}
     for start in g.nodes:
@@ -80,6 +121,37 @@ def connected_components(g: Graph) -> Dict[Node, Node]:
     return comp
 
 
+def _connected_components_csr(g) -> Dict[Node, Node]:
+    """Min-label propagation over CSR slices (weakly connected)."""
+    import numpy as np
+    from repro.graph.csr import expand_ranges
+    n = g.num_nodes
+    labels = np.arange(n, dtype=np.int64)
+    dirs = [(g.out_indptr, g.out_indices)]
+    if g.directed:
+        dirs.append((g.in_indptr, g.in_indices))
+    frontier = np.arange(n, dtype=np.int64)
+    while frontier.size:
+        updated = []
+        for indptr, indices in dirs:
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            eidx = expand_ranges(starts, counts)
+            if eidx.size == 0:
+                continue
+            tgt = indices[eidx]
+            lab = np.repeat(labels[frontier], counts)
+            better = lab < labels[tgt]
+            if not better.any():
+                continue
+            tgt = tgt[better]
+            np.minimum.at(labels, tgt, lab[better])
+            updated.append(np.unique(tgt))
+        frontier = (np.unique(np.concatenate(updated)) if updated
+                    else np.empty(0, dtype=np.int64))
+    return dict(enumerate(labels.tolist()))
+
+
 def components_as_sets(g: Graph) -> List[Set[Node]]:
     """Connected components as a list of node sets (sorted by min id)."""
     comp = connected_components(g)
@@ -98,6 +170,8 @@ def pagerank(g: Graph, damping: float = 0.85, epsilon: float = 1e-9,
     node contributes a constant ``(1-d)`` teleport mass; dangling nodes simply
     leak their mass.  Iterates until the L1 change drops below ``epsilon``.
     """
+    if _is_csr(g):
+        return _pagerank_csr(g, damping, epsilon, max_iter)
     nodes = list(g.nodes)
     score = {v: 1.0 - damping for v in nodes}
     for _ in range(max_iter):
@@ -116,10 +190,36 @@ def pagerank(g: Graph, damping: float = 0.85, epsilon: float = 1e-9,
     return score
 
 
+def _pagerank_csr(g, damping: float, epsilon: float,
+                  max_iter: int) -> Dict[Node, float]:
+    """SpMV Jacobi iteration over the CSR arrays (same formulation)."""
+    import numpy as np
+    n = g.num_nodes
+    indptr = g.out_indptr
+    indices = g.out_indices
+    degs = np.diff(indptr).astype(np.float64)
+    base = 1.0 - damping
+    score = np.full(n, base, dtype=np.float64)
+    safe = np.where(degs > 0, degs, 1.0)
+    for _ in range(max_iter):
+        share = np.where(degs > 0, damping * score / safe, 0.0)
+        nxt = np.bincount(indices,
+                          weights=np.repeat(share, np.diff(indptr)),
+                          minlength=n)
+        nxt += base
+        delta = float(np.abs(nxt - score).sum())
+        score = nxt
+        if delta < epsilon:
+            break
+    return dict(enumerate(score.tolist()))
+
+
 def bfs_levels(g: Graph, source: Node) -> Dict[Node, int]:
     """Hop distance from ``source``; unreachable nodes are absent."""
     if not g.has_node(source):
         raise GraphError(f"unknown source: {source!r}")
+    if _is_csr(g):
+        return _bfs_levels_csr(g, source)
     level = {source: 0}
     queue = deque([source])
     while queue:
@@ -131,8 +231,38 @@ def bfs_levels(g: Graph, source: Node) -> Dict[Node, int]:
     return level
 
 
+def _bfs_levels_csr(g, source: int) -> Dict[Node, int]:
+    """Frontier-at-a-time BFS over the CSR arrays."""
+    import numpy as np
+    from repro.graph.csr import expand_ranges
+    n = g.num_nodes
+    level = np.full(n, -1, dtype=np.int64)
+    level[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    indptr = g.out_indptr
+    indices = g.out_indices
+    while frontier.size:
+        depth += 1
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        eidx = expand_ranges(starts, counts)
+        if eidx.size == 0:
+            break
+        nbrs = np.unique(indices[eidx])
+        frontier = nbrs[level[nbrs] < 0]
+        level[frontier] = depth
+    reached = np.nonzero(level >= 0)[0]
+    return dict(zip(reached.tolist(), level[reached].tolist()))
+
+
 def degree_histogram(g: Graph) -> Dict[int, int]:
     """Out-degree -> count histogram."""
+    if _is_csr(g):
+        import numpy as np
+        degs, counts = np.unique(np.diff(g.out_indptr),
+                                 return_counts=True)
+        return dict(zip(degs.tolist(), counts.tolist()))
     hist: Dict[int, int] = {}
     for v in g.nodes:
         d = g.out_degree(v)
@@ -142,6 +272,13 @@ def degree_histogram(g: Graph) -> Dict[int, int]:
 
 def degree_skew(g: Graph) -> float:
     """Max out-degree divided by mean out-degree (1.0 = perfectly uniform)."""
+    if _is_csr(g):
+        import numpy as np
+        arr = np.diff(g.out_indptr)
+        if arr.size == 0:
+            return 1.0
+        mean = float(arr.mean())
+        return float(arr.max()) / mean if mean > 0 else 1.0
     degs = [g.out_degree(v) for v in g.nodes]
     if not degs:
         return 1.0

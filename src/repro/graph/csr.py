@@ -25,6 +25,22 @@ from repro.graph.graph import Graph
 Edge = Tuple[int, int, float]
 
 
+def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Indices of the concatenated ranges ``[s, s+c)`` — vectorized.
+
+    The ragged-range expansion used by every CSR kernel: given per-node
+    slice starts and lengths, produce the flat edge-index array without a
+    Python loop.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) \
+        - np.repeat(ends - counts, counts)
+    return np.repeat(starts, counts) + offsets
+
+
 class CompactGraph:
     """Immutable CSR graph over integer node ids ``0..num_nodes-1``."""
 
@@ -132,6 +148,49 @@ class CompactGraph:
     def _check(self, v) -> None:
         if not self.has_node(v):
             raise GraphError(f"unknown node: {v!r}")
+
+    # -- zero-copy array accessors (vectorized fast paths) -------------
+    @property
+    def out_indptr(self) -> np.ndarray:
+        return self._indptr
+
+    @property
+    def out_indices(self) -> np.ndarray:
+        return self._indices
+
+    @property
+    def out_weights(self) -> np.ndarray:
+        return self._weights
+
+    @property
+    def in_indptr(self) -> np.ndarray:
+        return self._rindptr
+
+    @property
+    def in_indices(self) -> np.ndarray:
+        return self._rindices
+
+    @property
+    def in_weights(self) -> np.ndarray:
+        return self._rweights
+
+    def out_arrays(self, v) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(indices, weights)`` views of ``v``'s out-edges.
+
+        Unlike :meth:`out_edges` this materialises no Python objects —
+        callers that consume numpy directly skip the ``tolist()+zip``
+        cost entirely.  The views are read-only slices of the CSR arrays;
+        do not mutate them.
+        """
+        self._check(v)
+        lo, hi = self._indptr[v], self._indptr[v + 1]
+        return self._indices[lo:hi], self._weights[lo:hi]
+
+    def in_arrays(self, v) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(indices, weights)`` views of ``v``'s in-edges."""
+        self._check(v)
+        lo, hi = self._rindptr[v], self._rindptr[v + 1]
+        return self._rindices[lo:hi], self._rweights[lo:hi]
 
     def out_edges(self, v) -> List[Tuple[int, float]]:
         self._check(v)

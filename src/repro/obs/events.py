@@ -53,7 +53,7 @@ EVENT_TYPES = (ROUND_START, ROUND_END, MSG_SEND, MSG_DELIVER, DS_DECISION,
 SCHEMA: Dict[str, tuple] = {
     ROUND_START: ("kind", "batches"),
     ROUND_END: ("kind", "duration", "messages"),
-    MSG_SEND: ("dst", "bytes", "seq"),
+    MSG_SEND: ("dst", "bytes", "seq", "entries"),
     MSG_DELIVER: ("src", "bytes", "seq", "depth"),
     DS_DECISION: ("ds", "action", "eta", "t_pred", "s_pred", "rmin", "rmax",
                   "t_idle", "reason"),

@@ -21,17 +21,80 @@ fragment where ``v`` resides, used to derive designated messages ``M(i, j)``.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+from typing import (Any, Callable, Dict, FrozenSet, Hashable, Iterable,
+                    List, Mapping, Optional,
+                    Sequence, Tuple)
+
+import numpy as np
 
 from repro.errors import PartitionError
+from repro.graph.csr import CompactGraph
 from repro.graph.graph import Graph, Node
+
+
+class FragmentCSR:
+    """Cached array view of one fragment: contiguous local ids + CSR.
+
+    The vectorized fast path stores status variables in arrays indexed by
+    *local id* (lid); this view provides the lid <-> global-node mapping,
+    a :class:`~repro.graph.csr.CompactGraph` over lids, and owned/mirror
+    boolean masks.  It requires non-negative integer node ids (what every
+    generator produces); build it through :meth:`Fragment.compact`, which
+    caches one instance per fragment.
+    """
+
+    __slots__ = ("fragment", "nodes", "lid_of", "gids", "csr",
+                 "owned_mask", "mirror_mask", "_gid_to_lid")
+
+    def __init__(self, frag: "Fragment"):
+        nodes = []
+        for v in frag.graph.nodes:
+            if isinstance(v, bool) or not isinstance(v, (int, np.integer)) \
+                    or v < 0:
+                raise PartitionError(
+                    f"fragment {frag.fid}: dense view requires non-negative "
+                    f"integer node ids, got {v!r}")
+            nodes.append(int(v))
+        nodes.sort()
+        self.fragment = frag
+        #: local nodes in lid order (sorted global ids)
+        self.nodes: List[int] = nodes
+        self.lid_of: Dict[int, int] = {v: i for i, v in enumerate(nodes)}
+        self.gids = np.asarray(nodes, dtype=np.int64)
+        lid = self.lid_of
+        edges = [(lid[u], lid[v], w) for u, v, w in frag.graph.edges()]
+        self.csr = CompactGraph.from_edges(len(nodes), edges,
+                                           directed=frag.graph.directed)
+        self.owned_mask = np.zeros(len(nodes), dtype=bool)
+        for v in frag.owned:
+            self.owned_mask[lid[v]] = True
+        self.mirror_mask = ~self.owned_mask
+        self._gid_to_lid = None
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def lids_for(self, gids: np.ndarray) -> np.ndarray:
+        """Vectorized global-id -> lid lookup; ``-1`` for non-local ids."""
+        if self._gid_to_lid is None:
+            size = int(self.gids[-1]) + 1 if self.gids.size else 0
+            table = np.full(size, -1, dtype=np.int64)
+            table[self.gids] = np.arange(len(self.nodes), dtype=np.int64)
+            self._gid_to_lid = table
+        table = self._gid_to_lid
+        gids = np.asarray(gids, dtype=np.int64)
+        out = np.full(gids.shape, -1, dtype=np.int64)
+        ok = (gids >= 0) & (gids < table.size)
+        out[ok] = table[gids[ok]]
+        return out
 
 
 class Fragment:
     """One fragment of a partitioned graph, resident at one virtual worker."""
 
     __slots__ = ("fid", "graph", "owned", "mirrors", "in_border", "out_border",
-                 "out_copies", "in_copies", "cut", "_routing")
+                 "out_copies", "in_copies", "cut", "_routing", "_compact",
+                 "_memo")
 
     def __init__(self, fid: int, graph: Graph, owned: Iterable[Node],
                  mirrors: Iterable[Node],
@@ -50,6 +113,8 @@ class Fragment:
         self.in_copies: FrozenSet[Node] = frozenset(in_copies)
         self._routing: Dict[Node, Tuple[int, ...]] = {
             v: tuple(fids) for v, fids in routing.items()}
+        self._compact: Optional[FragmentCSR] = None
+        self._memo: Optional[Dict] = None
         self._validate()
 
     def _validate(self) -> None:
@@ -87,7 +152,14 @@ class Fragment:
         return self._routing.get(v, ())
 
     def peer_fragments(self) -> FrozenSet[int]:
-        """Fragments sharing at least one node with this one (its senders)."""
+        """Fragments sharing at least one node with this one (its senders).
+
+        Memoized: the routing index is fixed at construction and runtimes
+        rebuild their queues from this on every run.
+        """
+        return self.memo("peer_fragments", self._compute_peers)
+
+    def _compute_peers(self) -> FrozenSet[int]:
         peers = set()
         for fids in self._routing.values():
             peers.update(fids)
@@ -96,6 +168,36 @@ class Fragment:
     def nodes(self) -> Iterable[Node]:
         """All nodes present locally (owned + mirrors)."""
         return self.graph.nodes
+
+    def compact(self) -> FragmentCSR:
+        """The cached :class:`FragmentCSR` array view of this fragment.
+
+        Built lazily on first use; the vectorized fast path calls this per
+        context construction, so later calls must be free.  Raises
+        :class:`~repro.errors.PartitionError` if node ids are not
+        non-negative integers.
+        """
+        if self._compact is None:
+            self._compact = FragmentCSR(self)
+        return self._compact
+
+    def memo(self, key: Hashable, build: Callable[[], Any]) -> Any:
+        """Memoize partition-derived data on this fragment.
+
+        Engines cache ship sets and dense routing masks here (keyed by
+        program class): they are pure functions of the partition, so
+        rebuilding them on every engine construction over the same
+        ``PartitionedGraph`` is wasted work.  Cached objects must be
+        treated as immutable by callers.
+        """
+        if self._memo is None:
+            self._memo = {}
+        try:
+            return self._memo[key]
+        except KeyError:
+            value = build()
+            self._memo[key] = value
+            return value
 
     @property
     def num_local_nodes(self) -> int:

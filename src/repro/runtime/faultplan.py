@@ -27,10 +27,10 @@ worker, the per-channel counters agree with the threaded runtime's.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.messages import Message
+from repro.core.messages import Message, MessageBatch
 from repro.errors import RuntimeConfigError
 
 #: 64-bit odd constants for splitmix-style hashing
@@ -237,9 +237,16 @@ class FaultInjector:
 
         Returns ``(message, extra_delay_seconds)`` pairs to actually put on
         the wire — empty when dropped, two entries when duplicated.
+
+        A packed :class:`MessageBatch` is judged *per entry*: each entry
+        consumes one channel index and gets its own drop/duplicate/delay
+        verdict, exactly as if it had been sent as an unpacked message, so
+        batching does not change what a chaos plan injects.
         """
         if not self.message_faults:
             return [(msg, 0.0)]
+        if isinstance(msg, MessageBatch):
+            return self._on_send_batch(msg)
         with self._lock:
             key = (msg.src, msg.dst)
             k = self._channel_idx.get(key, 0)
@@ -264,6 +271,68 @@ class FaultInjector:
                 deliveries = [(m, d + f.delay) for m, d in deliveries]
                 break
         return deliveries
+
+    def _on_send_batch(self, batch: MessageBatch
+                       ) -> List[Tuple[MessageBatch, float]]:
+        """Per-entry verdicts over a packed batch.
+
+        Surviving entries are regrouped into sub-batches by extra delay
+        (entries delivered together must share a wire message); duplicated
+        entries additionally go out as separate batches.  The channel
+        counter advances by the entry count, keeping verdicts aligned with
+        an unpacked run of the same plan.
+        """
+        import numpy as np
+        n = len(batch)
+        if n == 0:
+            return [(batch, 0.0)]
+        with self._lock:
+            key = (batch.src, batch.dst)
+            k0 = self._channel_idx.get(key, 0)
+            self._channel_idx[key] = k0 + n
+        seed = self.plan.seed
+        src, dst = batch.src, batch.dst
+        keep = np.ones(n, dtype=bool)
+        dup = np.zeros(n, dtype=bool)
+        delay = np.zeros(n, dtype=np.float64)
+        for i in range(n):
+            k = k0 + i
+            dropped = False
+            for f in self._drops:
+                if _matches(f, src, dst) and _mix(
+                        seed, _TAG_DROP, src, dst, k) < f.rate:
+                    self._record("drop", batch, k)
+                    keep[i] = False
+                    dropped = True
+                    break
+            if dropped:
+                continue
+            for f in self._dups:
+                if _matches(f, src, dst) and _mix(
+                        seed, _TAG_DUP, src, dst, k) < f.rate:
+                    self._record("duplicate", batch, k)
+                    dup[i] = True
+                    break
+            for f in self._delays:
+                if _matches(f, src, dst) and _mix(
+                        seed, _TAG_DELAY, src, dst, k) < f.rate:
+                    self._record("delay", batch, k)
+                    delay[i] = f.delay
+                    break
+        if keep.all() and not dup.any() and not delay.any():
+            return [(batch, 0.0)]
+        out: List[Tuple[MessageBatch, float]] = []
+        for mask in (keep, keep & dup):
+            if not mask.any():
+                continue
+            for dly in np.unique(delay[mask]):
+                sel = mask & (delay == dly)
+                sub = MessageBatch(
+                    src=src, dst=dst, round=batch.round,
+                    ids=batch.ids[sel], payloads=batch.payloads[sel],
+                    token=batch.token, entry_bytes=batch.entry_bytes)
+                out.append((sub, float(dly)))
+        return out
 
     def _record(self, kind: str, msg: Message, k: int) -> None:
         with self._lock:

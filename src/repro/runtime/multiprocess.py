@@ -101,11 +101,11 @@ class _SingleFragmentEngine:
     """Engine restricted to the one fragment living in this process."""
 
     def __init__(self, program: PIEProgram, pg: PartitionedGraph,
-                 query: Any, wid: int):
+                 query: Any, wid: int, vectorized: bool = False):
         # Engine builds contexts for every fragment; acceptable at these
         # scales and keeps the shipping path identical to the other
         # runtimes.  Only contexts[wid] is ever touched in this process.
-        self._engine = Engine(program, pg, query)
+        self._engine = Engine(program, pg, query, vectorized=vectorized)
         self.wid = wid
 
     def peval(self):
@@ -140,11 +140,12 @@ def _worker_main(wid: int, mode: str, program: PIEProgram,
                  inboxes: List[mp.Queue], control: mp.Queue,
                  command: mp.Queue, time_scale: float,
                  observe: bool = False,
-                 ft: Optional[_FTConfig] = None) -> None:
+                 ft: Optional[_FTConfig] = None,
+                 vectorized: bool = False) -> None:
     """Entry point of one worker process."""
     try:
         _worker_loop(wid, mode, program, pg, query, inboxes, control,
-                     command, time_scale, observe, ft)
+                     command, time_scale, observe, ft, vectorized)
     except Exception as exc:  # pragma: no cover - surfaced by master
         # ship the formatted traceback too: the master re-raises it, and
         # "worker 3 crashed: KeyError(5)" alone is undebuggable
@@ -156,22 +157,27 @@ def _send_all(wid: int, messages, inboxes: List[mp.Queue],
               emit=None, round_no: int = 0) -> None:
     if messages:
         # announce before the messages become receivable, so the master's
-        # in-flight counter can only over-estimate, never under-estimate
-        control.put(("sent", wid, len(messages)))
+        # in-flight counter can only over-estimate, never under-estimate.
+        # The ledger counts *logical entries* (len of a Message or a
+        # packed MessageBatch), so batching doesn't skew termination.
+        control.put(("sent", wid, sum(len(m) for m in messages)))
     for msg in messages:
         if emit is not None:
             emit(obs_events.MSG_SEND, round_no, dst=msg.dst,
-                 bytes=msg.size_bytes, seq=msg.seq)
+                 bytes=msg.size_bytes, seq=msg.seq, entries=len(msg))
         inboxes[msg.dst].put(msg)
         stats["messages"] += 1
+        stats["entries"] += len(msg)
         stats["bytes"] += msg.size_bytes
 
 
 def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
-                 time_scale, observe=False, ft=None) -> None:
-    engine = _SingleFragmentEngine(program, pg, query, wid)
+                 time_scale, observe=False, ft=None,
+                 vectorized=False) -> None:
+    engine = _SingleFragmentEngine(program, pg, query, wid,
+                                   vectorized=vectorized)
     inbox = inboxes[wid]
-    stats = {"messages": 0, "bytes": 0, "work": 0}
+    stats = {"messages": 0, "entries": 0, "bytes": 0, "work": 0}
     rounds = 0
     policy = AAPPolicy() if mode == "AAP" else None
     fleet: Dict[str, Any] = {"rmin": 0, "rmax": 0, "avg_rate": 0.0,
@@ -252,12 +258,14 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                      detail=f"dst={msg.dst} seq={msg.seq}")
             for m, d in deliveries:
                 stats["messages"] += 1
+                stats["entries"] += len(m)
                 stats["bytes"] += m.size_bytes
                 if d <= 0:
                     now_ship.append(m)
                 else:
                     later.append((time.monotonic() + d, m))
-        wire = len(now_ship) + len(later)
+        wire = (sum(len(m) for m in now_ship)
+                + sum(len(m) for _, m in later))
         if wire:
             # announce everything (including held messages) before any
             # becomes receivable: in-flight may only over-estimate
@@ -265,7 +273,7 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
         for m in now_ship:
             if emit is not None:
                 emit(obs_events.MSG_SEND, round_no, dst=m.dst,
-                     bytes=m.size_bytes, seq=m.seq)
+                     bytes=m.size_bytes, seq=m.seq, entries=len(m))
             inboxes[m.dst].put(m)
         delayed.extend(later)
 
@@ -279,11 +287,11 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
         nonlocal recv_total
         if ft is None or not batch:
             return
-        recv_total += len(batch)
         for m in batch:
+            recv_total += len(m)
             tok = getattr(m, "token", None)
             if tok is not None:
-                recv_by_token[tok] = recv_by_token.get(tok, 0) + 1
+                recv_by_token[tok] = recv_by_token.get(tok, 0) + len(m)
 
     def take_checkpoint(token) -> None:
         """Paper, Section 6: snapshot local state before any further send.
@@ -303,7 +311,7 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
         pre = [m for m in carry if getattr(m, "token", None) != token]
         ctx = engine.context
         control.put(("ckpt_state", wid, token, dict(ctx.values),
-                     dict(ctx.scratch), list(pre), stats["messages"],
+                     dict(ctx.scratch), list(pre), stats["entries"],
                      recv_total - recv_by_token.get(token, 0)))
         ckpt_token = token
 
@@ -331,7 +339,7 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
         if carry:
             # balances the ("delivered", ...) this worker will report
             # once it processes the seeded batch
-            control.put(("sent", wid, len(carry)))
+            control.put(("sent", wid, sum(len(m) for m in carry)))
         control.put(("round", wid, rounds, last_round_dur, rate))
     else:
         crash_if_due()  # at_round <= 0 means die before PEval
@@ -366,7 +374,7 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
         if emit is not None:
             emit(obs_events.ROUND_END, rounds - 1, kind="inceval",
                  duration=last_round_dur, messages=len(result.messages))
-        control.put(("delivered", wid, len(batch)))
+        control.put(("delivered", wid, sum(len(m) for m in batch)))
         ship(result.messages, rounds - 1)
         control.put(("round", wid, rounds, last_round_dur, rate))
 
@@ -502,7 +510,8 @@ class MultiprocessRuntime:
                  heartbeat_interval: float = 0.02,
                  heartbeat_timeout: float = 1.0,
                  detect_failures: Optional[bool] = None,
-                 snapshot: Optional[GlobalSnapshot] = None):
+                 snapshot: Optional[GlobalSnapshot] = None,
+                 vectorized: bool = False):
         if mode not in _MODES:
             raise RuntimeConfigError(
                 f"multiprocess runtime supports {_MODES}, got {mode!r}")
@@ -510,6 +519,7 @@ class MultiprocessRuntime:
         self.pg = pg
         self.query = query
         self.mode = mode
+        self.vectorized = vectorized
         self.timeout = timeout
         self.time_scale = time_scale
         self.obs = observer
@@ -564,7 +574,8 @@ class MultiprocessRuntime:
             target=_worker_main,
             args=(wid, self.mode, self.program, self.pg, self.query,
                   inboxes, control, commands[wid], self.time_scale,
-                  self.obs is not None, self._ft_config(wid)),
+                  self.obs is not None, self._ft_config(wid),
+                  self.vectorized),
             daemon=True) for wid in range(m)]
         started = time.monotonic()
         self._started = started
@@ -663,7 +674,9 @@ class MultiprocessRuntime:
                     coord_snap.channel_messages.setdefault(
                         wid, []).append(msg)
                     if coord_snap is current_snap:
-                        ckpt_amend[0] += 1
+                        # conservation is counted in logical entries,
+                        # matching the workers' sent/recv counters
+                        ckpt_amend[0] += len(msg)
                     return
 
         def ft_check() -> None:
@@ -835,7 +848,8 @@ class MultiprocessRuntime:
     def _assemble(self, reports: Dict[int, _WorkerReport],
                   makespan: float) -> RunResult:
         # rebuild contexts in the master and inject the workers' states
-        engine = Engine(self.program, self.pg, self.query)
+        engine = Engine(self.program, self.pg, self.query,
+                        vectorized=self.vectorized)
         for wid, report in reports.items():
             engine.contexts[wid].values = report.values
             engine.contexts[wid].scratch = report.scratch

@@ -299,7 +299,8 @@ class SimulatedRuntime:
             if self.obs is not None:
                 self.obs.log.emit(obs_events.MSG_SEND, self.now, wid=wid,
                                   round=w.rounds - 1, dst=msg.dst,
-                                  bytes=msg.size_bytes, seq=msg.seq)
+                                  bytes=msg.size_bytes, seq=msg.seq,
+                                  entries=len(msg))
                 self.obs.metrics.counter("wire_bytes").inc(msg.size_bytes)
         self._held[wid] = []
         w.idle_since = self.now

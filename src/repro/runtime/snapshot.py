@@ -24,6 +24,7 @@ online checkpoints, keeping the last complete snapshot for rollback.
 from __future__ import annotations
 
 import copy
+import dataclasses
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterable, List, Optional
@@ -65,10 +66,13 @@ class GlobalSnapshot:
 
 
 def stamp_messages(messages: Iterable[Message], token: Any) -> List[Message]:
-    """Rebuild ``messages`` with the snapshot ``token`` attached."""
-    return [Message(src=m.src, dst=m.dst, round=m.round, entries=m.entries,
-                    token=token, entry_bytes=m.entry_bytes)
-            for m in messages]
+    """Rebuild ``messages`` with the snapshot ``token`` attached.
+
+    Type-preserving: packed :class:`~repro.core.messages.MessageBatch`
+    traffic stays packed (``dataclasses.replace`` keeps everything but
+    the token, including the ``seq``).
+    """
+    return [dataclasses.replace(m, token=token) for m in messages]
 
 
 class ChandyLamportCoordinator:

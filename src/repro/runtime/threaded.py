@@ -431,7 +431,8 @@ class ThreadedRuntime:
             if self.obs is not None:
                 self.obs.log.emit(obs_events.MSG_SEND, self._now(),
                                   wid=m.src, round=src.rounds, dst=m.dst,
-                                  bytes=m.size_bytes, seq=m.seq)
+                                  bytes=m.size_bytes, seq=m.seq,
+                                  entries=len(m))
                 self.obs.metrics.counter("wire_bytes").inc(m.size_bytes)
             if delay <= 0:
                 self._deliver(m)

@@ -91,3 +91,34 @@ class TestIncrementality:
         r = api.run(SSSPProgram(), small_grid, SSSPQuery(source=0),
                     num_fragments=4)
         assert r.metrics.total_work > small_grid.num_edges
+
+
+class TestSeedOrderDeterminism:
+    """IncEval's multi-source Dijkstra is seed-order independent.
+
+    The seeds no longer get sorted before heapify: the fixpoint is a min
+    over path sums, so any seed iteration order must produce the same
+    distances and the same changed set.
+    """
+
+    def test_dijkstra_seed_order_irrelevant(self, small_grid):
+        program = SSSPProgram()
+        pg = HashPartitioner().partition(small_grid, 1)
+        frag = pg.fragments[0]
+        query = SSSPQuery(source=0)
+        start = {0: 0.0, 11: 1.0, 44: 2.0, 77: 3.0}
+        results = []
+        orders = [list(start), list(reversed(list(start)))]
+        for order in orders:
+            ctx = program.make_context(frag, query)
+            for v, d in start.items():
+                ctx.set_silent(v, d)
+            program._dijkstra(frag, ctx, seeds=order)
+            results.append((dict(ctx.values), set(ctx.changed)))
+        assert results[0] == results[1]
+
+    def test_run_is_reproducible(self, weighted_powerlaw):
+        answers = [api.run(SSSPProgram(), weighted_powerlaw,
+                           SSSPQuery(source=0), num_fragments=5,
+                           mode="AAP").answer for _ in range(2)]
+        assert answers[0] == answers[1]

@@ -1,0 +1,204 @@
+"""Tests for the dense (vectorized) fragment state and packed messages."""
+
+import copy
+import math
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.algorithms import (CFProgram, CFQuery, SSSPProgram, SSSPQuery)
+from repro.core.dense import DenseContext, supports_dense
+from repro.core.engine import Engine
+from repro.core.messages import (ENVELOPE_BYTES, Message, MessageBatch,
+                                 entry_count, group_entries)
+from repro.errors import ProgramError
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def pg(small_grid):
+    return api.partition_graph(small_grid, 3)
+
+
+@pytest.fixture
+def dense_ctx(pg):
+    program = SSSPProgram()
+    return program.make_dense_context(pg.fragments[0],
+                                      SSSPQuery(source=0))
+
+
+class TestSupportsDense:
+    def test_sssp_on_int_ids(self, pg):
+        assert supports_dense(SSSPProgram(), pg)
+
+    def test_mapping_reads_use_fragment(self, pg):
+        frag = pg.fragments[0]
+        ctx = SSSPProgram().make_dense_context(frag, SSSPQuery(source=0))
+        assert set(ctx.values) == set(frag.graph.nodes)
+
+    def test_cf_not_dense_capable(self, pg):
+        assert not supports_dense(CFProgram(), pg)
+
+    def test_string_ids_fall_back(self):
+        g = Graph(directed=False)
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 2.0)
+        pg = api.partition_graph(g, 2)
+        assert not supports_dense(SSSPProgram(), pg)
+
+    def test_engine_falls_back_silently(self):
+        g = Graph(directed=False)
+        g.add_edge("a", "b", 1.0)
+        pg = api.partition_graph(g, 1)
+        eng = Engine(SSSPProgram(), pg, SSSPQuery(source="a"),
+                     vectorized=True)
+        assert not eng.vectorized
+
+    def test_fallback_answer_matches_generic(self):
+        g = Graph(directed=False)
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 2.0)
+        r_gen = api.run(SSSPProgram(), g, SSSPQuery(source="a"),
+                        num_fragments=2)
+        r_vec = api.run(SSSPProgram(), g, SSSPQuery(source="a"),
+                        num_fragments=2, vectorized=True)
+        assert r_gen.answer == r_vec.answer
+
+    def test_cf_vectorized_flag_is_noop(self):
+        g, _, _ = generators.bipartite_ratings(12, 8, 4, rank=3, seed=3)
+        query = CFQuery(rank=3, epochs=2)
+        r_gen = api.run(CFProgram(), g, query, num_fragments=2)
+        r_vec = api.run(CFProgram(), g, query, num_fragments=2,
+                        vectorized=True)
+        assert r_gen.answer == r_vec.answer
+
+
+class TestDenseValuesFacade:
+    def test_mapping_reads(self, dense_ctx, pg):
+        vals = dense_ctx.values
+        nodes = set(pg.fragments[0].graph.nodes)
+        assert set(vals) == nodes
+        assert len(vals) == len(nodes)
+        for v in nodes:
+            assert isinstance(vals[v], float)
+
+    def test_getitem_unknown_raises_keyerror(self, dense_ctx):
+        with pytest.raises(KeyError):
+            dense_ctx.values["ghost"]
+
+    def test_update_loads_into_array(self, dense_ctx):
+        some = next(iter(dense_ctx.values))
+        dense_ctx.values.update({some: 7.5})
+        assert dense_ctx.get(some) == 7.5
+
+    def test_deepcopy_is_plain_dict(self, dense_ctx):
+        snap = copy.deepcopy(dense_ctx.values)
+        assert isinstance(snap, dict)
+        assert snap == dict(dense_ctx.values)
+        # a snapshot must not alias the live array
+        some = next(iter(snap))
+        dense_ctx.set(some, -123.0)
+        assert snap[some] != -123.0
+
+    def test_values_setter_replaces_state(self, dense_ctx):
+        replacement = {v: 1.0 for v in dense_ctx.values}
+        dense_ctx.values = replacement
+        assert all(x == 1.0 for x in dense_ctx.values.values())
+
+
+class TestChangedFacade:
+    def test_set_marks_changed(self, dense_ctx):
+        some = next(iter(dense_ctx.values))
+        assert dense_ctx.set(some, 3.25)
+        assert some in dense_ctx.changed
+        assert not dense_ctx.set(some, 3.25)  # unchanged value
+
+    def test_take_changed_clears_mask(self, dense_ctx):
+        some = next(iter(dense_ctx.values))
+        dense_ctx.set(some, 2.0)
+        taken = dense_ctx.take_changed()
+        assert taken == {some}
+        assert len(dense_ctx.changed) == 0
+        assert not dense_ctx.changed
+
+    def test_add_discard_iter(self, dense_ctx):
+        a, b = list(dense_ctx.values)[:2]
+        dense_ctx.changed.add(a)
+        dense_ctx.changed.add(b)
+        assert set(dense_ctx.changed) == {a, b}
+        dense_ctx.changed.discard(a)
+        assert set(dense_ctx.changed) == {b}
+        dense_ctx.changed.clear()
+        assert set(dense_ctx.changed) == set()
+
+    def test_changed_setter(self, dense_ctx):
+        a = next(iter(dense_ctx.values))
+        dense_ctx.changed = [a]
+        assert set(dense_ctx.changed) == {a}
+
+    def test_eq_against_set(self, dense_ctx):
+        a = next(iter(dense_ctx.values))
+        dense_ctx.changed.add(a)
+        assert dense_ctx.changed == {a}
+
+
+class TestDenseScalarAccess:
+    def test_get_set_silent(self, dense_ctx):
+        some = next(iter(dense_ctx.values))
+        dense_ctx.set_silent(some, 9.0)
+        assert dense_ctx.get(some) == 9.0
+        assert some not in dense_ctx.changed  # silent: no mask bit
+
+    def test_unknown_node_raises(self, dense_ctx):
+        for op in (lambda: dense_ctx.get("ghost"),
+                   lambda: dense_ctx.set("ghost", 1.0),
+                   lambda: dense_ctx.set_silent("ghost", 1.0)):
+            with pytest.raises(ProgramError):
+                op()
+
+    def test_init_values_seeded(self, pg):
+        frag = next(f for f in pg.fragments if f.graph.has_node(0))
+        ctx = SSSPProgram().make_dense_context(frag, SSSPQuery(source=0))
+        assert ctx.get(0) == 0.0
+        others = [v for v in frag.graph.nodes if v != 0]
+        assert all(ctx.get(v) == math.inf for v in others)
+
+    def test_is_fragment_context_subclass(self, dense_ctx):
+        from repro.core.pie import FragmentContext
+        assert isinstance(dense_ctx, FragmentContext)
+        assert isinstance(dense_ctx, DenseContext)
+
+
+class TestMessageBatch:
+    def _batch(self, n=4, **kw):
+        return MessageBatch(src=0, dst=1, round=2,
+                            ids=np.arange(n, dtype=np.int64),
+                            payloads=np.linspace(0.0, 1.0, n), **kw)
+
+    def test_len_is_entry_count(self):
+        assert len(self._batch(5)) == 5
+        assert entry_count([self._batch(3), self._batch(2)]) == 5
+
+    def test_entries_property_unpacks(self):
+        b = self._batch(3)
+        assert b.entries == ((0, 0.0), (1, 0.5), (2, 1.0))
+
+    def test_size_bytes_is_packed(self):
+        b = self._batch(100)
+        assert b.size_bytes == ENVELOPE_BYTES + b.ids.nbytes \
+            + b.payloads.nbytes
+        # packing amortises the envelope vs 100 unpacked messages
+        unpacked = sum(
+            Message(src=0, dst=1, round=2, entries=((i, 0.0),)).size_bytes
+            for i in range(100))
+        assert b.size_bytes < unpacked
+
+    def test_group_entries_accepts_batches(self):
+        grouped = group_entries([self._batch(3)])
+        assert grouped == {0: [0.0], 1: [0.5], 2: [1.0]}
+
+    def test_mixed_entry_count(self):
+        m = Message(src=0, dst=1, round=0, entries=((7, 1.0),))
+        assert entry_count([m, self._batch(2)]) == 3

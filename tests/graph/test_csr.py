@@ -115,3 +115,47 @@ class TestEndToEndOnCsr:
         pg = api.partition_graph(cg, 4)
         r = api.run(CCProgram(), pg, CCQuery())
         assert r.answer == analysis.connected_components(small_powerlaw)
+
+
+class TestArrayAccessors:
+    def test_out_arrays_zero_copy(self, small_compact):
+        import numpy as np
+        nbrs, wts = small_compact.out_arrays(3)
+        assert np.shares_memory(nbrs, small_compact.out_indices)
+        assert np.shares_memory(wts, small_compact.out_weights)
+
+    def test_out_arrays_match_out_edges(self, small_compact):
+        for v in small_compact.nodes:
+            nbrs, wts = small_compact.out_arrays(v)
+            assert list(zip(nbrs.tolist(), wts.tolist())) \
+                == small_compact.out_edges(v)
+
+    def test_in_arrays_match_in_edges(self):
+        cg = CompactGraph.from_edges(
+            4, [(0, 1, 2.0), (2, 1, 3.0), (3, 1, 4.0)], directed=True)
+        nbrs, wts = cg.in_arrays(1)
+        assert sorted(zip(nbrs.tolist(), wts.tolist())) \
+            == sorted(cg.in_edges(1))
+
+    def test_indptr_degrees(self, small_grid, small_compact):
+        import numpy as np
+        degs = np.diff(small_compact.out_indptr)
+        for v in small_compact.nodes:
+            assert degs[v] == small_grid.out_degree(v)
+
+
+class TestExpandRanges:
+    def test_matches_naive_expansion(self):
+        import numpy as np
+        from repro.graph.csr import expand_ranges
+        starts = np.array([5, 0, 9], dtype=np.int64)
+        counts = np.array([3, 0, 2], dtype=np.int64)
+        expect = [5, 6, 7, 9, 10]
+        assert expand_ranges(starts, counts).tolist() == expect
+
+    def test_empty(self):
+        import numpy as np
+        from repro.graph.csr import expand_ranges
+        out = expand_ranges(np.empty(0, dtype=np.int64),
+                            np.empty(0, dtype=np.int64))
+        assert out.size == 0

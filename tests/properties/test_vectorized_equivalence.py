@@ -1,0 +1,127 @@
+"""Property tests: the vectorized fast path equals the generic path.
+
+For every supported algorithm, random graph, partition cut, and parallel
+model, a vectorized run must assemble the same answer as a generic run.
+SSSP and CC are compared with exact equality (the dense kernels perform
+the identical float operations); PageRank within the shipping tolerance
+(accumulation order differs between the two paths).
+"""
+
+import random
+
+import pytest
+
+from repro import api
+from repro.algorithms import (CCProgram, CCQuery, PageRankProgram,
+                              PageRankQuery, SSSPProgram, SSSPQuery)
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.partition.edge_cut import HashPartitioner
+from repro.partition.vertex_cut import HashEdgePartitioner
+
+MODES = ("AAP", "BSP", "AP", "SSP")
+CUTS = {
+    "edge": HashPartitioner,
+    "vertex": HashEdgePartitioner,
+}
+
+
+def random_graph(seed: int, n: int) -> Graph:
+    rng = random.Random(seed)
+    kind = rng.choice(["powerlaw", "er", "grid"])
+    if kind == "powerlaw":
+        return generators.powerlaw(n, m=2, weighted=True, seed=seed)
+    if kind == "er":
+        return generators.erdos_renyi(n, 4.0 / n, weighted=True,
+                                      directed=rng.random() < 0.5,
+                                      seed=seed)
+    side = max(2, int(n ** 0.5))
+    return generators.grid2d(side, side, weighted=True, seed=seed)
+
+
+def run_pair(program_cls, pg, query, mode):
+    gen = api.run(program_cls(), pg, query, mode=mode, record_trace=False)
+    vec = api.run(program_cls(), pg, query, mode=mode, record_trace=False,
+                  vectorized=True)
+    return gen.answer, vec.answer
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("cut", sorted(CUTS))
+@pytest.mark.parametrize("seed,n", [(1, 60), (2, 120), (3, 250)])
+class TestExactEquality:
+    def test_sssp(self, mode, cut, seed, n):
+        g = random_graph(seed, n)
+        pg = CUTS[cut]().partition(g, 4)
+        source = next(iter(g.nodes))
+        gen, vec = run_pair(SSSPProgram, pg, SSSPQuery(source=source),
+                            mode)
+        assert gen == vec  # bit-exact, floats included
+
+    def test_cc(self, mode, cut, seed, n):
+        g = random_graph(seed, n)
+        pg = CUTS[cut]().partition(g, 4)
+        gen, vec = run_pair(CCProgram, pg, CCQuery(), mode)
+        assert gen == vec
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("seed,n", [(4, 80), (5, 200)])
+class TestPageRankTolerance:
+    def test_pagerank(self, mode, seed, n):
+        g = random_graph(seed, n)
+        pg = HashPartitioner().partition(g, 4)
+        query = PageRankQuery(epsilon=5e-4 * n, num_nodes=n)
+        gen, vec = run_pair(PageRankProgram, pg, query, mode)
+        assert set(gen) == set(vec)
+        # both paths stop shipping below eps_node; residuals scale with
+        # in-degree (see bench.kernels._make_workload)
+        eps_node = query.epsilon / n
+        max_indeg = max(g.in_degree(v) for v in g.nodes)
+        tol = 2.0 * eps_node * (1 + max_indeg)
+        worst = max(abs(gen[v] - vec[v]) for v in gen)
+        assert worst <= tol
+
+
+class TestLiveRuntimes:
+    """Spot checks on the wall-clock runtimes (slower, so fewer cases)."""
+
+    def _graph(self):
+        return generators.powerlaw(150, m=2, weighted=True, seed=9)
+
+    def test_threaded_sssp_exact(self):
+        from repro.core.engine import Engine
+        from repro.core.modes import make_policy
+        from repro.runtime.threaded import ThreadedRuntime
+        g = self._graph()
+        pg = HashPartitioner().partition(g, 4)
+        answers = []
+        for vectorized in (False, True):
+            eng = Engine(SSSPProgram(), pg, SSSPQuery(source=0),
+                         vectorized=vectorized)
+            answers.append(ThreadedRuntime(eng, make_policy("AP")).run()
+                           .answer)
+        assert answers[0] == answers[1]
+
+    def test_multiprocess_cc_exact(self):
+        from repro.runtime.multiprocess import MultiprocessRuntime
+        g = self._graph()
+        pg = HashPartitioner().partition(g, 3)
+        answers = []
+        for vectorized in (False, True):
+            rt = MultiprocessRuntime(CCProgram(), pg, CCQuery(),
+                                     mode="AP", vectorized=vectorized)
+            answers.append(rt.run().answer)
+        assert answers[0] == answers[1]
+
+    def test_multiprocess_vertex_cut_sssp_exact(self):
+        from repro.runtime.multiprocess import MultiprocessRuntime
+        g = self._graph()
+        pg = HashEdgePartitioner().partition(g, 3)
+        answers = []
+        for vectorized in (False, True):
+            rt = MultiprocessRuntime(SSSPProgram(), pg,
+                                     SSSPQuery(source=0),
+                                     mode="AAP", vectorized=vectorized)
+            answers.append(rt.run().answer)
+        assert answers[0] == answers[1]
