@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint trace-demo
+.PHONY: test lint trace-demo fuzz fuzz-smoke
 
 ## tier-1 test suite (the CI gate)
 test:
@@ -16,6 +16,18 @@ lint:
 	else \
 		echo "lint: ruff not installed; skipping (config in pyproject.toml)"; \
 	fi
+
+## schedule fuzzing + differential conformance (docs/conformance.md)
+fuzz:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli fuzz --seeds 50 \
+		--artifact-dir fuzz-artifacts
+
+## the CI fuzz gate: small graphs, 20 seeds, plus the 90-cell grid
+fuzz-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli fuzz --seeds 20 \
+		--smoke --artifact-dir fuzz-artifacts
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli fuzz --differential \
+		--graph grid:6x6 -m 3 --quiet
 
 ## example observability run: straggler SSSP -> Chrome trace + audit
 trace-demo:

@@ -55,6 +55,7 @@ def run(program: PIEProgram, graph_or_partition: Union[Graph,
         record_trace: bool = True,
         observer: Optional[Any] = None,
         vectorized: bool = False,
+        perturber: Optional[Any] = None,
         **policy_kwargs: Any) -> RunResult:
     """Parallelise ``program`` on ``graph`` under one parallel model.
 
@@ -67,6 +68,9 @@ def run(program: PIEProgram, graph_or_partition: Union[Graph,
     ``vectorized`` opts into the dense fast path (see
     ``docs/performance.md``); it silently falls back to the generic path
     when the program or partition does not support it.
+    ``perturber`` (a :class:`repro.fuzz.SchedulePerturber`) biases the
+    simulated schedule for conformance fuzzing (see
+    ``docs/conformance.md``); ``None`` leaves the schedule untouched.
     """
     if isinstance(graph_or_partition, PartitionedGraph):
         pg = graph_or_partition
@@ -84,7 +88,7 @@ def run(program: PIEProgram, graph_or_partition: Union[Graph,
     engine = Engine(program, pg, query, vectorized=vectorized)
     runtime = SimulatedRuntime(engine, policy, cost_model=cost_model,
                                hosts=hosts, record_trace=record_trace,
-                               observer=observer)
+                               observer=observer, perturber=perturber)
     return runtime.run()
 
 

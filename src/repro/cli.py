@@ -11,6 +11,9 @@
                 --out trace.json --jsonl events.jsonl --explain 0
     repro chaos --algorithm sssp --graph grid:12x12 -m 4 \
                 --crash 1:3 --runtime threaded --retries 2
+    repro fuzz  --seeds 20 --smoke --artifact-dir artifacts/
+    repro fuzz  --replay artifacts/fuzz-failure-seed7.json
+    repro fuzz  --differential --graph grid:6x6 -m 3
 
 Graph specs: ``grid:RxC``, ``powerlaw:N``, ``er:N:P``, ``smallworld:N``,
 ``rmat:SCALE``, ``path:N``, or ``file:PATH`` (edge list).
@@ -267,6 +270,40 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Schedule fuzzing, artifact replay and differential conformance."""
+    from repro import fuzz
+
+    progress = (None if args.quiet else
+                (lambda line: print(line, file=sys.stderr)))
+    if args.replay:
+        result, reproduced = fuzz.replay_artifact(args.replay)
+        print(json.dumps({
+            "artifact": args.replay,
+            "case": result.case.to_dict(),
+            "reproduced": reproduced,
+            "violations": [v.to_dict() for v in result.violations],
+        }, indent=2))
+        return 1 if reproduced else 0
+    if args.differential:
+        graph = parse_graph(args.graph, seed=args.seed or 0)
+        report = fuzz.run_differential(graph, fragments=args.fragments,
+                                       timeout=args.timeout,
+                                       progress=progress)
+        print(fuzz.format_report(report))
+        return 0 if report.ok else 1
+    if args.seed is not None:
+        seeds = [args.seed]
+    else:
+        seeds = list(range(args.first_seed, args.first_seed + args.seeds))
+    summary = fuzz.fuzz_loop(seeds, smoke=args.smoke,
+                             artifact_dir=args.artifact_dir,
+                             shrink_failures=not args.no_shrink,
+                             progress=progress)
+    print(json.dumps(summary, indent=2))
+    return 0 if summary["ok"] else 1
+
+
 def cmd_bench(args) -> int:
     from repro.bench import experiments, reporting
     name = args.experiment.lower()
@@ -399,6 +436,37 @@ def make_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="graph and partition statistics")
     common(p_info, algorithm=False)
     p_info.set_defaults(func=cmd_info)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="seeded schedule fuzzing + differential conformance "
+                     "(see docs/conformance.md)")
+    p_fuzz.add_argument("--seeds", type=int, default=50,
+                        help="number of consecutive seeds to fuzz")
+    p_fuzz.add_argument("--first-seed", type=int, default=0,
+                        help="first seed of the range")
+    p_fuzz.add_argument("--seed", type=int, default=None,
+                        help="fuzz exactly this one seed")
+    p_fuzz.add_argument("--smoke", action="store_true",
+                        help="small graphs for CI (same draws otherwise)")
+    p_fuzz.add_argument("--artifact-dir", default=None,
+                        help="write minimized failure artifacts here")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="report failures without minimizing them")
+    p_fuzz.add_argument("--replay", default=None, metavar="ARTIFACT",
+                        help="re-run a saved failure artifact instead of "
+                             "fuzzing (exit 1 iff it still reproduces)")
+    p_fuzz.add_argument("--differential", action="store_true",
+                        help="run the full modes x runtimes x paths "
+                             "conformance grid on --graph instead of "
+                             "fuzzing")
+    p_fuzz.add_argument("--graph", default="grid:8x8",
+                        help="graph spec for --differential")
+    p_fuzz.add_argument("--fragments", "-m", type=int, default=4)
+    p_fuzz.add_argument("--timeout", type=float, default=120.0,
+                        help="per-cell timeout for --differential")
+    p_fuzz.add_argument("--quiet", action="store_true",
+                        help="suppress per-case progress on stderr")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_bench = sub.add_parser("bench", help="run a named experiment")
     common(p_bench, algorithm=False)

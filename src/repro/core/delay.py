@@ -290,17 +290,20 @@ class HsyncPolicy(DelayPolicy):
         self.switches += 1
 
     def delay(self, view: WorkerView) -> float:
-        penalty = 0.0
-        if self.switches and self._paid.get(view.wid) != self.switches:
-            # each worker pays the switching cost once per switch
-            self._paid[view.wid] = self.switches
-            penalty = self.switch_cost
         if self.mode == "BSP":
             base = 0.0 if view.round <= view.rmin else INF
         else:
             base = 0.0
         if math.isinf(base):
+            # a worker blocked at the barrier has not paid anything yet;
+            # it must still be charged when it is eventually released
             return base
+        penalty = 0.0
+        if self.switches and self._paid.get(view.wid) != self.switches:
+            # each worker pays the switching cost once per switch, on the
+            # same decision that actually adds the penalty
+            self._paid[view.wid] = self.switches
+            penalty = self.switch_cost
         return base + penalty
 
     def __repr__(self) -> str:

@@ -20,34 +20,42 @@ MAX_ARRIVAL_RATE = 1e6
 
 
 class Ema:
-    """Exponential moving average with bias-corrected warm-up."""
+    """Exponential moving average with bias-corrected warm-up.
 
-    __slots__ = ("alpha", "_value", "_count")
+    The raw recursion ``v_t = alpha * x_t + (1 - alpha) * v_{t-1}`` is
+    seeded at 0, which under-weights early observations; :attr:`value`
+    divides out the missing mass, ``v_t / (1 - (1 - alpha)^t)``, so the
+    estimate is unbiased from the very first sample (a constant input
+    yields that constant immediately instead of creeping up to it).
+    """
+
+    __slots__ = ("alpha", "_raw", "_count")
 
     def __init__(self, alpha: float = 0.5):
         if not 0.0 < alpha <= 1.0:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
         self.alpha = alpha
-        self._value: Optional[float] = None
+        self._raw = 0.0
         self._count = 0
 
     def observe(self, x: float) -> None:
-        if self._value is None:
-            self._value = x
-        else:
-            self._value = self.alpha * x + (1.0 - self.alpha) * self._value
+        self._raw = self.alpha * x + (1.0 - self.alpha) * self._raw
         self._count += 1
 
     @property
     def value(self) -> Optional[float]:
-        return self._value
+        if self._count == 0:
+            return None
+        correction = 1.0 - (1.0 - self.alpha) ** self._count
+        return self._raw / correction
 
     @property
     def count(self) -> int:
         return self._count
 
     def get(self, default: float = 0.0) -> float:
-        return self._value if self._value is not None else default
+        value = self.value
+        return value if value is not None else default
 
 
 class RoundTimePredictor:
@@ -73,17 +81,29 @@ class ArrivalRatePredictor:
     (gap 0) yield a large-but-finite estimate.  A worker that has seen fewer
     than two messages has an unknown rate (:meth:`predict` returns 0,
     meaning "no more expected").
+
+    Passing ``now`` to :meth:`predict` makes the estimate *decay* once the
+    flux pauses: when more time has elapsed since the last arrival than the
+    smoothed gap, the elapsed time itself is the best gap estimate, and
+    after ``stale_after`` smoothed gaps of silence the rate is reported as
+    exactly 0.0 ("arrivals stopped").  Without the decay an endgame worker
+    keeps its mid-run rate forever, which inflates AAP's accumulation
+    targets precisely when no more messages are coming.
     """
 
-    __slots__ = ("_ema_gap", "_last_arrival", "max_rate")
+    __slots__ = ("_ema_gap", "_last_arrival", "max_rate", "stale_after")
 
     def __init__(self, alpha: float = 0.5,
-                 max_rate: float = MAX_ARRIVAL_RATE):
+                 max_rate: float = MAX_ARRIVAL_RATE,
+                 stale_after: float = 8.0):
         if max_rate <= 0:
             raise ValueError(f"max_rate must be > 0, got {max_rate}")
+        if stale_after <= 0:
+            raise ValueError(f"stale_after must be > 0, got {stale_after}")
         self._ema_gap = Ema(alpha)
         self._last_arrival: Optional[float] = None
         self.max_rate = max_rate
+        self.stale_after = stale_after
 
     def observe_arrival(self, now: float) -> None:
         if self._last_arrival is not None:
@@ -91,11 +111,17 @@ class ArrivalRatePredictor:
             self._ema_gap.observe(gap)
         self._last_arrival = now
 
-    def predict(self) -> float:
+    def predict(self, now: Optional[float] = None) -> float:
         """Messages per time unit; 0.0 when unknown or arrivals stopped."""
         gap = self._ema_gap.value
         if gap is None:
             return 0.0
+        if now is not None and self._last_arrival is not None:
+            elapsed = max(now - self._last_arrival, 0.0)
+            floor = max(gap, 1.0 / self.max_rate)
+            if elapsed > self.stale_after * floor:
+                return 0.0
+            gap = max(gap, elapsed)
         if gap <= 1.0 / self.max_rate:
             return self.max_rate
         return 1.0 / gap

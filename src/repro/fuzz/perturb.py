@@ -1,0 +1,183 @@
+"""Seeded schedule perturbation for the simulated runtime.
+
+Theorem 2 promises that *every* AAP schedule converges to the same answer;
+the :class:`SchedulePerturber` exists to make "every" mean something.  From
+a single seed it biases the simulator's event ordering through four
+orthogonal features, none of which touches scheduling logic:
+
+- **tie-break shuffling** — simultaneous events fire in a seeded-random
+  order instead of insertion order (the delayed-async literature shows
+  same-timestamp resolution alone flips schedules);
+- **per-edge latency profiles** — each ``(src, dst)`` fragment pair gets a
+  stable latency multiplier, so some channels are consistently slow;
+- **straggler/burst phases** — time is cut into windows; in a straggler
+  window one chosen worker's rounds stretch, in a burst window deliveries
+  to a chosen worker are held to the window edge and land together;
+- **forced policy re-evaluations** — spurious ``Custom`` "poke" events make
+  the runtime re-consult the delay policy at arbitrary times (a correct
+  policy/runtime pair must treat re-evaluation as idempotent).
+
+All randomness comes from per-feature ``random.Random`` children of the one
+seed, so disabling a feature (the shrinker does this) never perturbs the
+draws of the others, and the same config always yields the same schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, asdict
+from typing import Any, Dict, Tuple
+
+#: phase kinds a window can take (weights drawn per window)
+_PHASES = ("normal", "straggler", "burst")
+
+
+@dataclass(frozen=True)
+class PerturberConfig:
+    """Serializable knobs of one perturbation profile.
+
+    The shrinker flips the booleans off one at a time; the JSON replay
+    artifact stores the whole config via :meth:`to_dict`.
+    """
+
+    seed: int = 0
+    #: shuffle the ordering of simultaneous events
+    tie_shuffle: bool = True
+    #: stable per-(src, dst) latency multipliers in [1, latency_stretch]
+    latency_profile: bool = True
+    latency_stretch: float = 8.0
+    #: alternate straggler/burst phases over simulated time
+    phases: bool = True
+    phase_length: float = 4.0
+    straggler_factor: float = 6.0
+    #: schedule spurious policy re-evaluations
+    pokes: bool = True
+    poke_probability: float = 0.25
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PerturberConfig":
+        return cls(**data)
+
+    @classmethod
+    def from_seed(cls, seed: int) -> "PerturberConfig":
+        """A randomized profile: each feature on/off plus drawn magnitudes."""
+        rng = random.Random(("perturb-profile", seed).__repr__())
+        return cls(
+            seed=seed,
+            tie_shuffle=rng.random() < 0.9,
+            latency_profile=rng.random() < 0.8,
+            latency_stretch=rng.uniform(1.5, 16.0),
+            phases=rng.random() < 0.7,
+            phase_length=rng.uniform(1.0, 10.0),
+            straggler_factor=rng.uniform(2.0, 12.0),
+            pokes=rng.random() < 0.6,
+            poke_probability=rng.uniform(0.05, 0.5),
+        )
+
+
+class SchedulePerturber:
+    """Biases one simulated run's schedule from a :class:`PerturberConfig`.
+
+    The simulator calls three hooks (:meth:`round_duration`,
+    :meth:`deliver_time`, :meth:`poke_times`) plus :meth:`tiebreak` from its
+    event queue; each draws from its own seeded stream, so the whole
+    schedule is a pure function of (config, program, graph, partition).
+    """
+
+    def __init__(self, config: PerturberConfig):
+        self.config = config
+        seed = config.seed
+        self._tie_rng = random.Random(("tie", seed).__repr__())
+        self._phase_rng_seed = ("phase", seed).__repr__()
+        self._poke_rng = random.Random(("poke", seed).__repr__())
+        self._edge_mult: Dict[Tuple[int, int], float] = {}
+        self._phase_cache: Dict[int, Tuple[str, int]] = {}
+
+    # -- event-queue hook ----------------------------------------------
+    def tiebreak(self) -> float:
+        """Secondary sort key for simultaneous events."""
+        if not self.config.tie_shuffle:
+            return 0.0
+        return self._tie_rng.random()
+
+    # -- per-edge latency profile --------------------------------------
+    def _edge_multiplier(self, src: int, dst: int) -> float:
+        key = (src, dst)
+        mult = self._edge_mult.get(key)
+        if mult is None:
+            # stable per-edge draw, independent of call order
+            rng = random.Random(("edge", self.config.seed, src, dst)
+                                .__repr__())
+            mult = rng.uniform(1.0, max(self.config.latency_stretch, 1.0))
+            self._edge_mult[key] = mult
+        return mult
+
+    # -- phase schedule ------------------------------------------------
+    def _phase(self, now: float) -> Tuple[str, int]:
+        """(kind, victim worker) of the phase window containing ``now``."""
+        if not self.config.phases or self.config.phase_length <= 0:
+            return "normal", -1
+        idx = int(now / self.config.phase_length)
+        cached = self._phase_cache.get(idx)
+        if cached is None:
+            rng = random.Random((self._phase_rng_seed, idx).__repr__())
+            kind = rng.choices(_PHASES, weights=(2, 1, 1))[0]
+            cached = (kind, rng.randrange(1 << 16))
+            self._phase_cache[idx] = cached
+        return cached
+
+    def _phase_end(self, now: float) -> float:
+        idx = int(now / self.config.phase_length)
+        return (idx + 1) * self.config.phase_length
+
+    # -- simulator hooks -----------------------------------------------
+    def round_duration(self, wid: int, duration: float,
+                       now: float) -> float:
+        """Stretch a round that runs inside a straggler phase."""
+        kind, victim = self._phase(now)
+        if kind == "straggler" and victim % self._num_workers_hint(wid) \
+                == wid % self._num_workers_hint(wid):
+            return duration * max(self.config.straggler_factor, 1.0)
+        return duration
+
+    def deliver_time(self, msg: Any, arrival: float, now: float) -> float:
+        """Apply the edge profile, then any burst hold on the receiver."""
+        out = arrival
+        if self.config.latency_profile:
+            out = now + (arrival - now) * self._edge_multiplier(msg.src,
+                                                                msg.dst)
+        kind, victim = self._phase(now)
+        if kind == "burst" and victim % self._num_workers_hint(msg.dst) \
+                == msg.dst % self._num_workers_hint(msg.dst):
+            # hold the message to the window edge: it lands in a burst
+            # together with everything else addressed to this worker
+            out = max(out, self._phase_end(now))
+        return max(out, now)
+
+    def poke_times(self, wid: int, now: float, duration: float):
+        """Times at which to force a spurious policy re-evaluation."""
+        if not self.config.pokes:
+            return ()
+        if self._poke_rng.random() >= self.config.poke_probability:
+            return ()
+        return (now + self._poke_rng.uniform(0.0, max(duration, 1e-6)),)
+
+    # ------------------------------------------------------------------
+    _num_workers = 0
+
+    def _num_workers_hint(self, wid: int) -> int:
+        # victims are drawn as raw integers so the phase table does not
+        # depend on fleet size; fold them onto the fleet lazily (any
+        # worker id seen tells us at least wid+1 workers exist)
+        if wid >= self._num_workers:
+            self._num_workers = wid + 1
+        return max(self._num_workers, 1)
+
+    def __repr__(self) -> str:
+        on = [name for name in ("tie_shuffle", "latency_profile", "phases",
+                                "pokes") if getattr(self.config, name)]
+        return (f"SchedulePerturber(seed={self.config.seed}, "
+                f"features={'+'.join(on) or 'none'})")

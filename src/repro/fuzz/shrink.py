@@ -1,0 +1,224 @@
+"""Greedy shrinking of failing fuzz cases and replayable artifacts.
+
+A failing (graph, partition, seed) triple from the fuzz loop is rarely
+minimal: the bug usually survives with fewer fragments, a smaller graph
+and most perturbation features disabled.  :func:`shrink` walks those
+dimensions greedily — try one simplification, keep it iff the *same kind*
+of violation still fires, repeat until nothing simplifies — and
+:func:`save_artifact` writes the minimized case as a JSON artifact that
+``repro fuzz --replay`` (and :func:`replay_artifact`) re-executes
+deterministically.
+
+Artifact format (version 1)::
+
+    {
+      "version": 1,
+      "kind": "repro-fuzz-failure",
+      "case": {...FuzzCase.to_dict()...},
+      "violations": [{oracle, message, t, wid}, ...],
+      "shrink_trail": ["disable pokes", "halve n", ...],
+      "attempts": 17
+    }
+
+See ``docs/conformance.md`` for the full loop.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, \
+    Tuple
+
+from repro.errors import ReproError
+from repro.fuzz.driver import CaseResult, FuzzCase, case_from_seed, run_case
+
+ARTIFACT_VERSION = 1
+ARTIFACT_KIND = "repro-fuzz-failure"
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing case plus how it got there."""
+
+    case: FuzzCase
+    result: CaseResult
+    trail: List[str] = field(default_factory=list)
+    attempts: int = 0
+
+
+def _oracles(result: CaseResult) -> set:
+    return {v.oracle for v in result.violations}
+
+
+def _variants(case: FuzzCase) -> Iterator[Tuple[str, FuzzCase]]:
+    """Candidate one-step simplifications, cheapest first.
+
+    Perturber features are independent seeded streams (see
+    :mod:`repro.fuzz.perturb`), so disabling one never re-randomizes the
+    others — each acceptance strictly simplifies the schedule.
+    """
+    for feat in ("pokes", "phases", "latency_profile", "tie_shuffle"):
+        if case.perturb.get(feat):
+            p = dict(case.perturb)
+            p[feat] = False
+            yield f"disable {feat}", replace(case, perturb=p)
+    if case.fragments > 2:
+        yield (f"fragments {case.fragments}->{case.fragments - 1}",
+               replace(case, fragments=case.fragments - 1))
+    gp = dict(case.graph_params)
+    if case.graph_kind == "grid2d":
+        for axis in ("rows", "cols"):
+            if gp.get(axis, 0) > 2:
+                smaller = dict(gp)
+                smaller[axis] = max(gp[axis] // 2, 2)
+                yield (f"{axis} {gp[axis]}->{smaller[axis]}",
+                       replace(case, graph_params=smaller))
+    else:
+        floor = 5 if case.graph_kind == "powerlaw" else 4
+        smaller = dict(gp)
+        smaller["n"] = max(gp.get("n", 0) // 2, floor)
+        if smaller["n"] < gp.get("n", 0):
+            yield (f"n {gp['n']}->{smaller['n']}",
+                   replace(case, graph_params=smaller))
+
+
+def shrink(case: FuzzCase, initial: Optional[CaseResult] = None,
+           program_cls: Any = None, max_attempts: int = 64,
+           progress: Optional[Callable[[str], None]] = None
+           ) -> ShrinkResult:
+    """Greedily minimize a failing case.
+
+    A candidate is accepted when it still violates at least one of the
+    oracles the original case violated (same failure *kind*, so the
+    shrinker cannot wander off to an unrelated bug).  ``program_cls``
+    must match whatever :func:`~repro.fuzz.driver.run_case` override
+    produced the failure.
+    """
+    baseline = initial if initial is not None else run_case(
+        case, program_cls=program_cls)
+    if baseline.ok:
+        raise ReproError("refusing to shrink a passing case")
+    kinds = _oracles(baseline)
+    current, current_result = case, baseline
+    trail: List[str] = []
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for description, candidate in _variants(current):
+            attempts += 1
+            result = run_case(candidate, program_cls=program_cls)
+            if _oracles(result) & kinds:
+                current, current_result = candidate, result
+                trail.append(description)
+                if progress is not None:
+                    progress(f"shrink: {description} "
+                             f"({result.summary()})")
+                improved = True
+                break
+            if attempts >= max_attempts:
+                break
+    return ShrinkResult(case=current, result=current_result, trail=trail,
+                        attempts=attempts)
+
+
+# ----------------------------------------------------------------------
+# artifacts
+# ----------------------------------------------------------------------
+def artifact_dict(shrunk: ShrinkResult) -> Dict[str, Any]:
+    return {
+        "version": ARTIFACT_VERSION,
+        "kind": ARTIFACT_KIND,
+        "case": shrunk.case.to_dict(),
+        "violations": [v.to_dict() for v in shrunk.result.violations],
+        "shrink_trail": list(shrunk.trail),
+        "attempts": shrunk.attempts,
+    }
+
+
+def save_artifact(shrunk: ShrinkResult, path: str) -> Dict[str, Any]:
+    """Write the replayable JSON artifact; returns the written dict."""
+    data = artifact_dict(shrunk)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return data
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise ReproError(f"cannot read artifact {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ReproError(f"artifact {path} is not valid JSON: {exc}") \
+            from exc
+    if data.get("kind") != ARTIFACT_KIND:
+        raise ReproError(f"{path} is not a {ARTIFACT_KIND} artifact")
+    if data.get("version") != ARTIFACT_VERSION:
+        raise ReproError(
+            f"artifact version {data.get('version')} unsupported "
+            f"(expected {ARTIFACT_VERSION})")
+    return data
+
+
+def replay_artifact(path: str, program_cls: Any = None
+                    ) -> Tuple[CaseResult, bool]:
+    """Re-run an artifact's case; ``(result, reproduced)``.
+
+    ``reproduced`` is True when the replay violates at least one oracle
+    the artifact recorded (seeded determinism makes this exact for runs
+    of the same code; after a fix it flips to False, which is the
+    artifact's purpose as a regression probe).
+    """
+    data = load_artifact(path)
+    case = FuzzCase.from_dict(data["case"])
+    result = run_case(case, program_cls=program_cls)
+    recorded = {v["oracle"] for v in data["violations"]}
+    return result, bool(_oracles(result) & recorded)
+
+
+# ----------------------------------------------------------------------
+# the loop
+# ----------------------------------------------------------------------
+def fuzz_loop(seeds: Iterable[int], *, smoke: bool = False,
+              artifact_dir: Optional[str] = None,
+              shrink_failures: bool = True,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> Dict[str, Any]:
+    """Run seeded cases; shrink and persist every failure.
+
+    Returns a JSON-serialisable summary with one entry per failing seed
+    (its violations and, when written, the artifact path).
+    """
+    ran = 0
+    failures: List[Dict[str, Any]] = []
+    for seed in seeds:
+        case = case_from_seed(seed, smoke=smoke)
+        result = run_case(case)
+        ran += 1
+        if progress is not None:
+            progress(f"{case.label}: {result.summary()}")
+        if result.ok:
+            continue
+        entry: Dict[str, Any] = {
+            "seed": seed,
+            "violations": [v.to_dict() for v in result.violations],
+        }
+        if shrink_failures:
+            shrunk = shrink(case, initial=result, progress=progress)
+            entry["shrunk_case"] = shrunk.case.to_dict()
+            if artifact_dir is not None:
+                path = os.path.join(artifact_dir,
+                                    f"fuzz-failure-seed{seed}.json")
+                save_artifact(shrunk, path)
+                entry["artifact"] = path
+        failures.append(entry)
+    return {"seeds_run": ran, "failures": failures,
+            "ok": not failures}

@@ -64,22 +64,33 @@ class Custom(Event):
 
 
 class EventQueue:
-    """Min-heap of events with deterministic total order."""
+    """Min-heap of events with deterministic total order.
 
-    __slots__ = ("_heap", "_counter", "processed")
+    ``tiebreak`` (optional, no-arg callable) supplies a secondary sort key
+    for simultaneous events; the default is pure insertion order.  The
+    schedule fuzzer passes a seeded random source here to explore different
+    — but still reproducible — interleavings of same-time events (the
+    insertion counter stays as the final key, so even equal tiebreaks keep
+    a deterministic total order).
+    """
 
-    def __init__(self):
+    __slots__ = ("_heap", "_counter", "processed", "_tiebreak")
+
+    def __init__(self, tiebreak=None):
         self._heap = []
         self._counter = itertools.count()
         self.processed = 0
+        self._tiebreak = tiebreak
 
     def push(self, event: Event) -> None:
         if event.time < 0:
             raise ValueError(f"event time must be >= 0, got {event.time}")
-        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+        sub = 0.0 if self._tiebreak is None else self._tiebreak()
+        heapq.heappush(self._heap,
+                       (event.time, sub, next(self._counter), event))
 
     def pop(self) -> Event:
-        _, _, event = heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)[-1]
         self.processed += 1
         return event
 

@@ -8,15 +8,23 @@ through per-worker ``multiprocessing.Queue``s; the master process runs the
 paper's termination protocol (inactive flags, in-flight accounting, and an
 explicit probe/ack round — the ``terminate``/``ack``-or-``wait`` exchange).
 
-Three modes are supported:
+All five parallel models are supported:
 
 - ``"AP"``  — fully asynchronous; a worker runs whenever its inbox is
   non-empty.
 - ``"BSP"`` — master-coordinated supersteps (a real distributed barrier).
+- ``"SSP"`` — bounded staleness: a worker holds its drained batch while
+  ``r_i > r_min + c``, where ``r_min`` comes from the master's fleet
+  broadcasts (computed over *active* workers, so a finished worker never
+  pins the bound — the same deadlock-freedom rule as the other runtimes).
 - ``"AAP"`` — asynchronous with delay stretches computed from the local
   predictors plus *fleet state broadcasts* from the master (round bounds
   and arrival rates are slightly stale, which is faithful: the paper's
   workers also learn ``r_min``/``r_max`` through status exchange).
+- ``"Hsync"`` — the master runs the :class:`~repro.core.delay.HsyncPolicy`
+  switching heuristic over the workers' round reports and broadcasts the
+  current global mode; workers gate like BSP while it says so, run free in
+  AP phases, and pay the switch cost once per switch.
 
 Everything shipped must be picklable (the built-in PIE programs are).
 
@@ -44,7 +52,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.delay import AAPPolicy, WorkerView
+from repro.core.delay import AAPPolicy, HsyncPolicy, WorkerView
 from repro.core.engine import Engine
 from repro.core.pie import PIEProgram
 from repro.core.result import RunResult
@@ -59,7 +67,7 @@ from repro.runtime.metrics import (RunMetrics, WorkerMetrics,
 from repro.runtime.snapshot import (GlobalSnapshot, LiveCheckpointer,
                                     stamp_messages)
 
-_MODES = ("AP", "BSP", "AAP")
+_MODES = ("AP", "BSP", "SSP", "AAP", "Hsync")
 
 
 @dataclass
@@ -141,11 +149,13 @@ def _worker_main(wid: int, mode: str, program: PIEProgram,
                  command: mp.Queue, time_scale: float,
                  observe: bool = False,
                  ft: Optional[_FTConfig] = None,
-                 vectorized: bool = False) -> None:
+                 vectorized: bool = False,
+                 policy_conf: Optional[Dict[str, Any]] = None) -> None:
     """Entry point of one worker process."""
     try:
         _worker_loop(wid, mode, program, pg, query, inboxes, control,
-                     command, time_scale, observe, ft, vectorized)
+                     command, time_scale, observe, ft, vectorized,
+                     policy_conf)
     except Exception as exc:  # pragma: no cover - surfaced by master
         # ship the formatted traceback too: the master re-raises it, and
         # "worker 3 crashed: KeyError(5)" alone is undebuggable
@@ -173,15 +183,21 @@ def _send_all(wid: int, messages, inboxes: List[mp.Queue],
 
 def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                  time_scale, observe=False, ft=None,
-                 vectorized=False) -> None:
+                 vectorized=False, policy_conf=None) -> None:
     engine = _SingleFragmentEngine(program, pg, query, wid,
                                    vectorized=vectorized)
     inbox = inboxes[wid]
     stats = {"messages": 0, "entries": 0, "bytes": 0, "work": 0}
     rounds = 0
     policy = AAPPolicy() if mode == "AAP" else None
+    policy_conf = policy_conf or {}
+    #: SSP staleness bound c / Hsync switch cost (ignored by other modes)
+    ssp_bound = policy_conf.get("staleness_bound", 1)
+    switch_cost = policy_conf.get("switch_cost", 1.0)
+    paid_switches = 0
     fleet: Dict[str, Any] = {"rmin": 0, "rmax": 0, "avg_rate": 0.0,
-                             "avg_round": 1e-3}
+                             "avg_round": 1e-3, "hmode": "AP",
+                             "switches": 0}
     last_round_dur = 1e-4
     last_arrival = None
     rate = 0.0
@@ -207,6 +223,9 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
     ckpt_token = None  # the checkpoint token this worker currently holds
     delayed: List[Tuple[float, Any]] = []  # (due, msg): announced, held
     carry: List[Any] = []  # drained-but-unprocessed messages
+    #: drained AND observed messages held back by SSP/Hsync gating; kept
+    #: separate from ``carry`` so they are never double-observed
+    held: List[Any] = []
 
     def beat() -> None:
         nonlocal last_hb
@@ -340,7 +359,7 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
             # balances the ("delivered", ...) this worker will report
             # once it processes the seeded batch
             control.put(("sent", wid, sum(len(m) for m in carry)))
-        control.put(("round", wid, rounds, last_round_dur, rate))
+        control.put(("round", wid, rounds, last_round_dur, rate, 0))
     else:
         crash_if_due()  # at_round <= 0 means die before PEval
         started0 = time.monotonic()
@@ -354,7 +373,7 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                  duration=time.monotonic() - started0,
                  messages=len(out.messages))
         ship(out.messages, 0)
-        control.put(("round", wid, rounds, last_round_dur, rate))
+        control.put(("round", wid, rounds, last_round_dur, rate, 0))
 
     def run_round(batch) -> None:
         nonlocal rounds, last_round_dur
@@ -376,7 +395,9 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                  duration=last_round_dur, messages=len(result.messages))
         control.put(("delivered", wid, sum(len(m) for m in batch)))
         ship(result.messages, rounds - 1)
-        control.put(("round", wid, rounds, last_round_dur, rate))
+        # eta (batches consumed) rides along for the master's Hsync policy
+        control.put(("round", wid, rounds, last_round_dur, rate,
+                     len(batch)))
 
     def observe_arrivals(batch) -> None:
         nonlocal last_arrival, rate
@@ -413,7 +434,7 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                 continue
             if kind == "probe":
                 # the paper's terminate broadcast: ack iff still inactive
-                empty = inbox.empty() and not carry
+                empty = inbox.empty() and not carry and not held
                 control.put(("ack" if empty else "wait", wid))
                 continue
             if kind == "superstep":
@@ -440,18 +461,37 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
             if carry:
                 fresh = carry + fresh
                 carry.clear()
-        batch = fresh
-        if not batch:
+        if not fresh and not held:
             if not inactive_reported:
                 control.put(("inactive", wid))
                 inactive_reported = True
                 status_change("running", "inactive", rounds)
             continue
-        observe_arrivals(batch)
+        observe_arrivals(fresh)
+        batch = held + fresh
+        held.clear()
         if inactive_reported:
             control.put(("active", wid))
             inactive_reported = False
             status_change("inactive", "running", rounds)
+        # SSP / Hsync-BSP gating against the broadcast fleet bound: hold
+        # the (already observed) batch and re-check when fresh fleet
+        # state or messages arrive.  The r_min worker itself is never
+        # gated, so some active worker can always advance the bound.
+        gate = None
+        if mode == "SSP":
+            gate = fleet["rmin"] + ssp_bound
+        elif mode == "Hsync" and fleet.get("hmode") == "BSP":
+            gate = fleet["rmin"]
+        if gate is not None and rounds > gate:
+            held.extend(batch)
+            time.sleep(0.0005)
+            continue
+        if mode == "Hsync" and fleet.get("switches", 0) != paid_switches:
+            # pay the mode-switch cost once per global switch, scaled the
+            # same way AAP's delay stretches are
+            paid_switches = fleet.get("switches", 0)
+            time.sleep(min(switch_cost * time_scale, 0.01))
         if mode == "AAP" and policy is not None:
             view = WorkerView(
                 wid=wid, round=rounds, eta=len(batch),
@@ -511,10 +551,18 @@ class MultiprocessRuntime:
                  heartbeat_timeout: float = 1.0,
                  detect_failures: Optional[bool] = None,
                  snapshot: Optional[GlobalSnapshot] = None,
-                 vectorized: bool = False):
+                 vectorized: bool = False,
+                 staleness_bound: Optional[int] = None,
+                 hsync_policy: Optional[HsyncPolicy] = None):
         if mode not in _MODES:
             raise RuntimeConfigError(
                 f"multiprocess runtime supports {_MODES}, got {mode!r}")
+        #: SSP bound c (same default as make_policy) and the master-side
+        #: Hsync switching heuristic; both inert for the other modes
+        self.staleness_bound = 1 if staleness_bound is None \
+            else staleness_bound
+        self.hsync = (hsync_policy if hsync_policy is not None
+                      else HsyncPolicy()) if mode == "Hsync" else None
         self.program = program
         self.pg = pg
         self.query = query
@@ -575,7 +623,10 @@ class MultiprocessRuntime:
             args=(wid, self.mode, self.program, self.pg, self.query,
                   inboxes, control, commands[wid], self.time_scale,
                   self.obs is not None, self._ft_config(wid),
-                  self.vectorized),
+                  self.vectorized,
+                  {"staleness_bound": self.staleness_bound,
+                   "switch_cost": (self.hsync.switch_cost
+                                   if self.hsync is not None else 1.0)}),
             daemon=True) for wid in range(m)]
         started = time.monotonic()
         self._started = started
@@ -728,10 +779,19 @@ class MultiprocessRuntime:
 
         def broadcast_fleet() -> None:
             live_rates = [r for r in rates if r > 0]
-            fleet = {"rmin": min(rounds), "rmax": max(rounds),
+            # bounds over *active* workers: a finished worker must not pin
+            # r_min, or an SSP/Hsync-gated worker would deadlock waiting
+            # for rounds that will never come (same rule as WorkerState.
+            # pending in the other runtimes)
+            active = [rounds[i] for i in range(m) if not inactive[i]]
+            base = active if active else rounds
+            fleet = {"rmin": min(base), "rmax": max(base),
                      "avg_rate": (sum(live_rates) / len(live_rates)
                                   if live_rates else 0.0),
                      "avg_round": sum(durations) / len(durations)}
+            if self.hsync is not None:
+                fleet["hmode"] = self.hsync.mode
+                fleet["switches"] = self.hsync.switches
             broadcast(("fleet", fleet))
 
         last_fleet = 0.0
@@ -758,10 +818,19 @@ class MultiprocessRuntime:
                     inactive[evt[1]] = False
                     got_wait = True
                 elif kind == "round":
-                    _, wid, r, dur, rate = evt
+                    _, wid, r, dur, rate, eta = evt
                     rounds[wid] = r
                     durations[wid] = dur
                     rates[wid] = rate
+                    if self.hsync is not None:
+                        # feed the switching heuristic; only eta and the
+                        # duration matter to on_round_complete
+                        self.hsync.on_round_complete(WorkerView(
+                            wid=wid, round=r, eta=eta, rmin=min(rounds),
+                            rmax=max(rounds), idle_time=0.0,
+                            now=time.monotonic() - self._started,
+                            t_pred=dur, s_pred=rate, fleet_avg_rate=0.0,
+                            num_workers=m), dur)
                 elif kind == "heartbeat":
                     if detector is not None:
                         detector.beat(evt[1], time.monotonic())
@@ -821,8 +890,9 @@ class MultiprocessRuntime:
                     broadcast(("superstep",))
                 continue
 
-            # async modes: AAP gets periodic fleet-state broadcasts
-            if self.mode == "AAP" and time.monotonic() - last_fleet > 0.02:
+            # async modes that consult fleet state get periodic broadcasts
+            if (self.mode in ("AAP", "SSP", "Hsync")
+                    and time.monotonic() - last_fleet > 0.02):
                 broadcast_fleet()
                 last_fleet = time.monotonic()
 

@@ -53,11 +53,16 @@ class SimulatedRuntime:
                  max_rounds_per_worker: int = 1_000_000,
                  max_events: int = 10_000_000,
                  snapshot_coordinator: Optional[Any] = None,
-                 observer: Optional[Any] = None):
+                 observer: Optional[Any] = None,
+                 perturber: Optional[Any] = None):
         self.engine = engine
         self.policy = policy
         #: optional repro.obs.Observer; None means zero-overhead no-op
         self.obs = observer
+        #: optional repro.fuzz.SchedulePerturber; biases event ordering
+        #: (tie-breaks, latency profiles, straggler/burst phases, forced
+        #: re-evaluations) without touching any scheduling logic
+        self.perturber = perturber
         self.cost = cost_model if cost_model is not None else CostModel()
         m = engine.num_workers
         if hosts is not None:
@@ -70,7 +75,8 @@ class SimulatedRuntime:
         self.workers: List[WorkerState] = [
             WorkerState(wid, host=host_of[wid]) for wid in range(m)]
         self.trace = TraceRecorder(enabled=record_trace)
-        self.queue = EventQueue()
+        self.queue = EventQueue(
+            tiebreak=perturber.tiebreak if perturber is not None else None)
         self.now = 0.0
         self.max_rounds_per_worker = max_rounds_per_worker
         self.max_events = max_events
@@ -257,6 +263,11 @@ class SimulatedRuntime:
         duration = self.cost.round_time(wid, out.work,
                                         batches_consumed=consumed,
                                         messages_sent=len(out.messages))
+        if self.perturber is not None:
+            duration = self.perturber.round_duration(wid, duration, self.now)
+            for at in self.perturber.poke_times(wid, self.now, duration):
+                # forced policy re-evaluation: _on_custom re-evaluates all
+                self.queue.push(Custom(time=at, tag="fuzz_poke"))
         self._held[wid] = out.messages
         self._round_started[wid] = self.now
         self._round_duration[wid] = duration
@@ -293,6 +304,8 @@ class SimulatedRuntime:
             held = self.snapshot_coordinator.stamp_outgoing(wid, held)
         for msg in held:
             arrival = self.now + self.cost.transfer_time(msg.size_bytes)
+            if self.perturber is not None:
+                arrival = self.perturber.deliver_time(msg, arrival, self.now)
             self.queue.push(Deliver(time=arrival, message=msg))
             w.messages_sent += 1
             w.bytes_sent += msg.size_bytes
@@ -373,7 +386,7 @@ class SimulatedRuntime:
         pending = self._pending_rounds()
         rmin = min(pending) if pending else w.rounds
         rmax = max(pending) if pending else w.rounds
-        rates = [x.arrival_rate.predict() for x in self.workers]
+        rates = [x.arrival_rate.predict(now=self.now) for x in self.workers]
         finite = [r for r in rates if r > 0 and not math.isinf(r)]
         fleet_avg = sum(finite) / len(finite) if finite else 0.0
         t_preds = [x.round_time.predict(default=self.cost.alpha)
@@ -383,7 +396,8 @@ class SimulatedRuntime:
             wid=wid, round=w.rounds, eta=w.eta, rmin=rmin, rmax=rmax,
             idle_time=w.idle_for(self.now), now=self.now,
             t_pred=w.round_time.predict(default=self.cost.round_time(wid, 1)),
-            s_pred=w.arrival_rate.predict(), fleet_avg_rate=fleet_avg,
+            s_pred=w.arrival_rate.predict(now=self.now),
+            fleet_avg_rate=fleet_avg,
             num_workers=len(self.workers),
             num_peers=self._num_peers[wid],
             fleet_avg_round_time=fleet_t)
@@ -404,18 +418,16 @@ class SimulatedRuntime:
             # decide() returns the same DS as delay() plus audit details,
             # so attaching an observer never changes scheduling
             ds, why = self.policy.decide(view)
+        # name the action before performing it, so the decision record
+        # precedes its consequences (round_start etc.) in the event stream
+        # — cause before effect, which the conformance oracles rely on
         if ds <= _DS_EPSILON:
-            started = self._try_start(wid)
-            action = "start" if started else "host_queued"
+            occupant = self._host_occupant[w.host]
+            action = ("start" if occupant is None or occupant == wid
+                      else "host_queued")
         elif math.isinf(ds):
-            # suspend until the next state change re-evaluates the policy
-            w.invalidate_wakeups()
             action = "suspend"
         else:
-            epoch = w.invalidate_wakeups()
-            # keep the wake strictly in the future despite float rounding
-            wake_at = max(self.now + ds, self.now * (1 + 1e-12) + _DS_EPSILON)
-            self.queue.push(WakeUp(time=wake_at, wid=wid, epoch=epoch))
             action = "wake_scheduled"
         if self.obs is not None:
             self.obs.log.emit(
@@ -427,6 +439,16 @@ class SimulatedRuntime:
                 self.obs.metrics.counter("ds_suspend", wid).inc()
             else:
                 self.obs.metrics.histogram("ds_chosen", wid).observe(ds)
+        if ds <= _DS_EPSILON:
+            self._try_start(wid)
+        elif math.isinf(ds):
+            # suspend until the next state change re-evaluates the policy
+            w.invalidate_wakeups()
+        else:
+            epoch = w.invalidate_wakeups()
+            # keep the wake strictly in the future despite float rounding
+            wake_at = max(self.now + ds, self.now * (1 + 1e-12) + _DS_EPSILON)
+            self.queue.push(WakeUp(time=wake_at, wid=wid, epoch=epoch))
 
     # ------------------------------------------------------------------
     def _collect_metrics(self) -> RunMetrics:

@@ -486,15 +486,15 @@ class ThreadedRuntime:
         pending = [x.rounds for x in self.workers if x.pending]
         rmin = min(pending) if pending else w.rounds
         rmax = max(pending) if pending else w.rounds
-        rates = [x.arrival_rate.predict() for x in self.workers]
-        finite = [r for r in rates if r > 0 and not math.isinf(r)]
         now = time.monotonic() - self._start_time
+        rates = [x.arrival_rate.predict(now=now) for x in self.workers]
+        finite = [r for r in rates if r > 0 and not math.isinf(r)]
         t_preds = [x.round_time.predict(default=1e-4) for x in self.workers]
         return WorkerView(
             wid=wid, round=w.rounds, eta=w.eta, rmin=rmin, rmax=rmax,
             idle_time=w.idle_for(now), now=now,
             t_pred=w.round_time.predict(default=1e-4),
-            s_pred=w.arrival_rate.predict(),
+            s_pred=w.arrival_rate.predict(now=now),
             fleet_avg_rate=sum(finite) / len(finite) if finite else 0.0,
             num_workers=len(self.workers),
             num_peers=self._num_peers[wid],

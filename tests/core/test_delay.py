@@ -148,6 +148,22 @@ class TestHsync:
         assert d_first == 3.0
         assert d_second == 0.0
 
+    def test_barrier_blocked_worker_still_pays_switch_cost(self):
+        """Regression: _paid was recorded before the INF early-return, so a
+        worker blocked at the BSP barrier was marked as having paid the
+        switch cost without ever serving it."""
+        p = HsyncPolicy(staleness_threshold=1.0, window=2, switch_cost=3.0)
+        for _ in range(2):
+            p.on_round_complete(view(eta=5), duration=1.0)
+        assert p.mode == "BSP" and p.switches == 1
+        # worker 2 is ahead of the barrier: suspended, and NOT marked paid
+        assert p.delay(view(wid=2, round=4, rmin=3)) == INF
+        assert 2 not in p._paid
+        # once the barrier releases it, the switch cost is finally charged
+        assert p.delay(view(wid=2, round=3, rmin=3)) == 3.0
+        # and only once
+        assert p.delay(view(wid=2, round=3, rmin=3)) == 0.0
+
     def test_switches_back_to_ap_on_straggle(self):
         p = HsyncPolicy(straggler_threshold=1.5, staleness_threshold=1.0,
                         window=2)

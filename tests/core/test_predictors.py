@@ -19,7 +19,9 @@ class TestEma:
         e = Ema(alpha=0.5)
         e.observe(0.0)
         e.observe(10.0)
-        assert e.value == 5.0
+        # raw EMA (seeded at 0): 0.5*10 = 5; bias correction divides by
+        # 1 - 0.5^2 = 0.75, the weight mass actually observed so far
+        assert e.value == pytest.approx(5.0 / 0.75)
 
     def test_alpha_one_tracks_last(self):
         e = Ema(alpha=1.0)
@@ -29,6 +31,36 @@ class TestEma:
 
     def test_get_default(self):
         assert Ema().get(default=7.0) == 7.0
+
+    def test_warm_up_is_bias_corrected(self):
+        # The docstring's contract: a constant input yields that constant
+        # from the very first observation, instead of warming up from the
+        # raw EMA's zero seed.
+        e = Ema(alpha=0.1)
+        for i in range(1, 8):
+            e.observe(6.0)
+            assert e.value == pytest.approx(6.0), f"biased after {i} obs"
+
+    def test_warm_up_converges_to_plain_ema(self):
+        # Once enough mass has been observed the correction factor tends
+        # to 1 and the estimate matches the uncorrected recursion.
+        e = Ema(alpha=0.5)
+        raw = 0.0
+        for x in [3.0, 9.0, 1.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0]:
+            e.observe(x)
+            raw = 0.5 * x + 0.5 * raw
+        assert e.value == pytest.approx(raw, rel=1e-3)
+
+    def test_correction_weights_match_closed_form(self):
+        # v_t / (1 - (1-alpha)^t) for t observations of x_1..x_t
+        e = Ema(alpha=0.3)
+        xs = [2.0, 8.0, 5.0]
+        for x in xs:
+            e.observe(x)
+        raw = 0.0
+        for x in xs:
+            raw = 0.3 * x + 0.7 * raw
+        assert e.value == pytest.approx(raw / (1 - 0.7 ** 3))
 
     def test_invalid_alpha(self):
         with pytest.raises(ValueError):
@@ -109,3 +141,56 @@ class TestArrivalRatePredictor:
         assert p.predict() == pytest.approx(1.0)
         p.observe_arrival(5.0)
         assert p.predict() == pytest.approx(0.25)
+
+
+class TestArrivalRateDecay:
+    """Regression: the docstring promises 0.0 'when arrivals stopped', but
+    without the ``now`` decay the rate stayed at its mid-run value forever,
+    inflating AAP wait targets in the endgame."""
+
+    def _steady(self, gap=1.0, n=10):
+        p = ArrivalRatePredictor(alpha=1.0)
+        for i in range(n):
+            p.observe_arrival(i * gap)
+        return p
+
+    def test_no_now_keeps_legacy_behaviour(self):
+        p = self._steady()
+        assert p.predict() == pytest.approx(1.0)
+
+    def test_rate_unchanged_while_flux_continues(self):
+        p = self._steady()
+        # asked right at/just after the last arrival: full rate
+        assert p.predict(now=9.0) == pytest.approx(1.0)
+        assert p.predict(now=9.5) == pytest.approx(1.0)
+
+    def test_rate_decays_with_silence(self):
+        p = self._steady()
+        r2 = p.predict(now=9.0 + 2.0)
+        r4 = p.predict(now=9.0 + 4.0)
+        assert r2 == pytest.approx(0.5)
+        assert r4 == pytest.approx(0.25)
+        assert r4 < r2 < 1.0
+
+    def test_quiet_worker_rate_falls_to_zero(self):
+        p = self._steady()
+        # past stale_after (default 8) smoothed gaps: arrivals stopped
+        assert p.predict(now=9.0 + 100.0) == 0.0
+
+    def test_stale_after_configurable(self):
+        p = ArrivalRatePredictor(alpha=1.0, stale_after=2.0)
+        p.observe_arrival(0.0)
+        p.observe_arrival(1.0)
+        assert p.predict(now=2.5) > 0.0
+        assert p.predict(now=3.5) == 0.0
+        with pytest.raises(ValueError):
+            ArrivalRatePredictor(stale_after=0.0)
+
+    def test_simultaneous_arrivals_decay_uses_clamp_floor(self):
+        # gap EMA is 0 (clamped rate); the staleness horizon must use the
+        # clamp floor, not 8 * 0 = 0, or the rate would always read 0
+        p = ArrivalRatePredictor(alpha=1.0, max_rate=10.0)
+        p.observe_arrival(1.0)
+        p.observe_arrival(1.0)
+        assert p.predict(now=1.0) == 10.0
+        assert p.predict(now=100.0) == 0.0

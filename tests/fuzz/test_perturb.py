@@ -1,0 +1,114 @@
+"""SchedulePerturber: determinism, feature independence, hook contracts."""
+
+from repro.fuzz import PerturberConfig, SchedulePerturber
+
+
+class _Msg:
+    def __init__(self, src, dst):
+        self.src = src
+        self.dst = dst
+
+
+class TestPerturberConfig:
+    def test_roundtrip(self):
+        cfg = PerturberConfig.from_seed(42)
+        assert PerturberConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_from_seed_deterministic(self):
+        assert PerturberConfig.from_seed(7) == PerturberConfig.from_seed(7)
+        assert PerturberConfig.from_seed(7) != PerturberConfig.from_seed(8)
+
+    def test_seed_is_preserved(self):
+        assert PerturberConfig.from_seed(123).seed == 123
+
+
+class TestDeterminism:
+    def test_tiebreak_stream_repeats(self):
+        a = SchedulePerturber(PerturberConfig(seed=5))
+        b = SchedulePerturber(PerturberConfig(seed=5))
+        assert [a.tiebreak() for _ in range(50)] == \
+               [b.tiebreak() for _ in range(50)]
+
+    def test_tiebreak_disabled_is_stable_zero(self):
+        p = SchedulePerturber(PerturberConfig(seed=5, tie_shuffle=False))
+        assert all(p.tiebreak() == 0.0 for _ in range(10))
+
+    def test_edge_multiplier_stable_across_call_order(self):
+        a = SchedulePerturber(PerturberConfig(seed=9))
+        b = SchedulePerturber(PerturberConfig(seed=9))
+        pairs = [(0, 1), (1, 0), (2, 3), (0, 1)]
+        fwd = [a._edge_multiplier(s, d) for s, d in pairs]
+        rev = [b._edge_multiplier(s, d) for s, d in reversed(pairs)]
+        assert fwd == list(reversed(rev))
+        assert fwd[0] == fwd[3]  # cached and stable
+
+
+class TestFeatureIndependence:
+    """Disabling one feature must not re-randomize the others.
+
+    This is what makes the shrinker's feature-flipping a strict
+    simplification instead of a jump to an unrelated schedule.
+    """
+
+    def test_tie_shuffle_off_keeps_edge_profile(self):
+        on = SchedulePerturber(PerturberConfig(seed=3))
+        off = SchedulePerturber(PerturberConfig(seed=3, tie_shuffle=False))
+        for s, d in [(0, 1), (1, 2), (2, 0)]:
+            assert on._edge_multiplier(s, d) == off._edge_multiplier(s, d)
+
+    def test_latency_off_keeps_tiebreak_stream(self):
+        on = SchedulePerturber(PerturberConfig(seed=3))
+        off = SchedulePerturber(
+            PerturberConfig(seed=3, latency_profile=False))
+        assert [on.tiebreak() for _ in range(20)] == \
+               [off.tiebreak() for _ in range(20)]
+
+    def test_pokes_off_keeps_phase_table(self):
+        on = SchedulePerturber(PerturberConfig(seed=3))
+        off = SchedulePerturber(PerturberConfig(seed=3, pokes=False))
+        for idx in range(8):
+            now = idx * on.config.phase_length + 0.1
+            assert on._phase(now) == off._phase(now)
+
+
+class TestHookContracts:
+    def test_deliver_time_never_before_now(self):
+        p = SchedulePerturber(PerturberConfig(seed=1, latency_stretch=16.0))
+        for now in (0.0, 1.5, 9.25):
+            out = p.deliver_time(_Msg(0, 1), now + 0.3, now)
+            assert out >= now
+
+    def test_deliver_time_identity_when_disabled(self):
+        p = SchedulePerturber(PerturberConfig(
+            seed=1, latency_profile=False, phases=False))
+        assert p.deliver_time(_Msg(0, 1), 2.5, 2.0) == 2.5
+
+    def test_round_duration_stretches_only_straggler_victim(self):
+        cfg = PerturberConfig(seed=4, phases=True, phase_length=2.0,
+                              straggler_factor=6.0)
+        p = SchedulePerturber(cfg)
+        p._num_workers_hint(3)  # fleet of 4
+        stretched = 0
+        for idx in range(20):
+            now = idx * cfg.phase_length + 0.1
+            kind, victim = p._phase(now)
+            for wid in range(4):
+                d = p.round_duration(wid, 1.0, now)
+                if kind == "straggler" and victim % 4 == wid:
+                    assert d == 6.0
+                    stretched += 1
+                else:
+                    assert d == 1.0
+        assert stretched > 0  # at least one straggler window in 20 draws
+
+    def test_poke_times_disabled(self):
+        p = SchedulePerturber(PerturberConfig(seed=1, pokes=False))
+        assert p.poke_times(0, 1.0, 2.0) == ()
+
+    def test_poke_times_within_round(self):
+        p = SchedulePerturber(PerturberConfig(seed=1, pokes=True,
+                                              poke_probability=1.0))
+        for _ in range(10):
+            times = p.poke_times(0, 5.0, 2.0)
+            assert len(times) == 1
+            assert 5.0 <= times[0] <= 7.0

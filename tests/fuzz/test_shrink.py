@@ -1,0 +1,105 @@
+"""Injected-bug pipeline: oracle catches it, shrinker minimizes it,
+artifact replays it.
+
+The acceptance scenario from the issue: a deliberately non-monotonic
+IncEval (violating condition T2) must be caught by the contraction
+oracle, shrunk to a smaller failing case, and saved as a replayable
+artifact that reproduces the failure under the broken program and passes
+once the program is fixed.
+"""
+
+import pytest
+
+from repro.algorithms.sssp import SSSPProgram
+from repro.errors import ReproError
+from repro.fuzz import (FuzzCase, PerturberConfig, load_artifact,
+                        replay_artifact, run_case, save_artifact, shrink)
+from repro.fuzz.shrink import _variants
+
+
+class InflatingSSSP(SSSPProgram):
+    """Deliberately breaks T2: inflates one finite distance per IncEval."""
+
+    def inceval(self, frag, ctx, activated, query):
+        out = super().inceval(frag, ctx, activated, query)
+        for v in sorted(ctx.values, key=repr):
+            d = ctx.values[v]
+            if d not in (float("inf"), 0.0):
+                ctx.set(v, d + 0.5)
+                break
+        return out
+
+
+def _broken_case(mode="AAP"):
+    return FuzzCase(seed=11, algorithm="sssp", graph_kind="grid2d",
+                    graph_params={"rows": 4, "cols": 4, "seed": 7},
+                    fragments=3, mode=mode,
+                    perturb=PerturberConfig.from_seed(11).to_dict())
+
+
+class TestInjectedBug:
+    def test_contraction_oracle_catches_it(self):
+        result = run_case(_broken_case(), program_cls=InflatingSSSP)
+        assert not result.ok
+        assert "contraction" in {v.oracle for v in result.violations}
+
+    def test_fixed_program_passes_same_case(self):
+        result = run_case(_broken_case(), program_cls=SSSPProgram)
+        assert result.ok, result.summary()
+
+
+class TestShrinker:
+    def test_refuses_passing_case(self):
+        with pytest.raises(ReproError):
+            shrink(_broken_case())  # default (correct) program passes
+
+    def test_minimizes_and_keeps_failure_kind(self):
+        case = _broken_case()
+        shrunk = shrink(case, program_cls=InflatingSSSP, max_attempts=32)
+        assert not shrunk.result.ok
+        assert "contraction" in {v.oracle
+                                 for v in shrunk.result.violations}
+        # strictly simpler than where it started
+        assert shrunk.trail
+        assert shrunk.attempts >= len(shrunk.trail)
+        gp, orig = shrunk.case.graph_params, case.graph_params
+        simpler = (shrunk.case.fragments < case.fragments
+                   or gp != orig
+                   or sum(bool(v) for v in shrunk.case.perturb.values())
+                   < sum(bool(v) for v in case.perturb.values()))
+        assert simpler
+
+    def test_variants_never_yield_noops(self):
+        case = FuzzCase(seed=0, algorithm="sssp", graph_kind="powerlaw",
+                       graph_params={"n": 5, "m": 2, "seed": 1},
+                       fragments=2,
+                       perturb=PerturberConfig(
+                           seed=0, tie_shuffle=False, latency_profile=False,
+                           phases=False, pokes=False).to_dict())
+        assert list(_variants(case)) == []
+
+
+class TestArtifacts:
+    def test_save_replay_roundtrip(self, tmp_path):
+        path = str(tmp_path / "artifact.json")
+        shrunk = shrink(_broken_case(), program_cls=InflatingSSSP,
+                        max_attempts=16)
+        data = save_artifact(shrunk, path)
+        assert data == load_artifact(path)
+        assert data["kind"] == "repro-fuzz-failure"
+
+        result, reproduced = replay_artifact(path,
+                                             program_cls=InflatingSSSP)
+        assert reproduced
+        assert not result.ok
+
+        # the artifact's purpose: after the fix it stops reproducing
+        result, reproduced = replay_artifact(path)
+        assert not reproduced
+        assert result.ok
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"kind": "something-else", "version": 1}')
+        with pytest.raises(ReproError):
+            load_artifact(str(path))

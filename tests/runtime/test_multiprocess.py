@@ -49,7 +49,7 @@ class TestPageRankMp:
 class TestMechanics:
     def test_unknown_mode(self, pg):
         with pytest.raises(RuntimeConfigError):
-            MultiprocessRuntime(CCProgram(), pg, CCQuery(), mode="SSP")
+            MultiprocessRuntime(CCProgram(), pg, CCQuery(), mode="nope")
 
     def test_metrics_reported(self, graph, pg):
         r = MultiprocessRuntime(CCProgram(), pg, CCQuery(), mode="AP",
