@@ -35,16 +35,31 @@ def main(argv=None) -> int:
                         default="simulated,threaded,multiprocess",
                         help="comma-separated subset of "
                              "simulated,threaded,multiprocess")
+    parser.add_argument("--algorithms", default=None,
+                        help="comma-separated subset of "
+                             "sssp,cc,pagerank (default: all)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument("--transport", default=None,
+                        choices=["shm", "queue"],
+                        help="multiprocess data plane (default: the "
+                             "runtime's default, shm)")
     parser.add_argument("--out", default="BENCH_kernels.json")
     args = parser.parse_args(argv)
 
     graph = parse_graph(args.graph, seed=args.seed)
+    algorithms = kernels.ALGORITHMS
+    if args.algorithms:
+        algorithms = tuple(a.strip() for a in args.algorithms.split(",")
+                           if a.strip())
+        for a in algorithms:
+            if a not in kernels.ALGORITHMS:
+                parser.error(f"unknown algorithm {a!r}")
     report = kernels.run_kernel_bench(
         graph, fragments=args.fragments, mode=args.mode,
         runtimes=kernels.parse_runtimes(args.runtimes),
-        timeout=args.timeout,
+        algorithms=algorithms,
+        timeout=args.timeout, transport=args.transport,
         progress=lambda line: print(line, file=sys.stderr))
     print(kernels.format_kernel_report(report))
     kernels.save_report(report, args.out)

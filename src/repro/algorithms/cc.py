@@ -145,32 +145,43 @@ class CCProgram(PIEProgram):
         labels = ctx.array
         # undirected CSR already stores each edge both ways; directed
         # graphs need the reverse adjacency for CC's undirected semantics
-        dirs = [(csr.out_indptr, csr.out_indices)]
+        dirs = [(csr.out_indptr, csr.out_indices, csr.out_sources)]
         if csr.directed:
-            dirs.append((csr.in_indptr, csr.in_indices))
+            dirs.append((csr.in_indptr, csr.in_indices, csr.in_sources))
         # boolean scatter + nonzero dedups seeds and each wave's updates
         # far cheaper than hash-based np.unique on the raw arrays
         upd = np.zeros(labels.size, dtype=bool)
         upd[np.asarray(seeds, dtype=np.int64)] = True
         frontier = np.nonzero(upd)[0]
         while frontier.size:
+            # label propagation keeps nearly every node improving for
+            # several waves; once the frontier covers half the fragment
+            # a flat sweep of the whole edge array is cheaper than the
+            # ragged-range expansion (extra edges are no-ops under min)
+            sweep = frontier.size * 2 >= labels.size
             upd[:] = False
-            for indptr, indices in dirs:
-                starts = indptr[frontier]
-                counts = indptr[frontier + 1] - starts
-                eidx = expand_ranges(starts, counts)
-                ctx.add_work(int(eidx.size))
-                if eidx.size == 0:
-                    continue
-                tgt = indices[eidx]
-                lab = np.repeat(labels[frontier], counts)
-                better = lab < labels[tgt]
-                tgt = tgt[better]
-                lab = lab[better]
-                if tgt.size == 0:
-                    continue
+            for indptr, indices, sources in dirs:
+                if sweep:
+                    ctx.add_work(int(indices.size))
+                    tgt = indices
+                    lab = labels[sources]
+                else:
+                    starts = indptr[frontier]
+                    counts = indptr[frontier + 1] - starts
+                    eidx = expand_ranges(starts, counts)
+                    ctx.add_work(int(eidx.size))
+                    if eidx.size == 0:
+                        continue
+                    tgt = indices[eidx]
+                    lab = labels[sources[eidx]]
+                # unfiltered scatter-min plus a node-sized before/after
+                # compare beats filtering the edge-sized candidate list
+                # (which costs a gather, a compare and two compressions
+                # over |E| entries to save work that minimum.at skips
+                # anyway)
+                prev = labels.copy()
                 np.minimum.at(labels, tgt, lab)
-                upd[tgt] = True
+                upd |= labels < prev
             ctx.mask |= upd
             frontier = np.nonzero(upd)[0]
 

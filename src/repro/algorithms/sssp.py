@@ -130,6 +130,7 @@ class SSSPProgram(PIEProgram):
         indptr = csr.out_indptr
         indices = csr.out_indices
         weights = csr.out_weights
+        sources = csr.out_sources
         dist = ctx.array
         # boolean scatter + nonzero dedups seeds and each wave's updates
         # far cheaper than hash-based np.unique on the raw arrays
@@ -152,15 +153,13 @@ class SSSPProgram(PIEProgram):
             if eidx.size == 0:
                 break
             tgt = indices[eidx]
-            nd = np.repeat(dist[frontier], counts) + weights[eidx]
-            improving = nd < dist[tgt]
-            tgt = tgt[improving]
-            nd = nd[improving]
-            if tgt.size == 0:
-                break
+            nd = dist[sources[eidx]] + weights[eidx]
+            # unfiltered scatter-min + node-sized before/after compare:
+            # cheaper than filtering the edge-sized candidates first
+            # (see CCProgram._dense_propagate)
+            prev = dist.copy()
             np.minimum.at(dist, tgt, nd)
-            upd[:] = False
-            upd[tgt] = True
+            upd = dist < prev
             ctx.mask |= upd
             frontier = np.nonzero(upd)[0]
 

@@ -49,8 +49,9 @@ def _make_workload(algorithm: str, graph: Graph) -> Tuple[Any, Any, float]:
 
 
 def _run_once(runtime: str, program_cls, pg: PartitionedGraph, query: Any,
-              mode: str, vectorized: bool,
-              timeout: float) -> Tuple[float, Dict[Any, Any]]:
+              mode: str, vectorized: bool, timeout: float,
+              transport: Optional[str] = None
+              ) -> Tuple[float, Dict[Any, Any]]:
     """One timed run; returns (wall seconds, assembled answer)."""
     program = program_cls()
     t0 = time.perf_counter()
@@ -69,7 +70,8 @@ def _run_once(runtime: str, program_cls, pg: PartitionedGraph, query: Any,
         from repro.runtime.multiprocess import MultiprocessRuntime
         result = MultiprocessRuntime(program, pg, query, mode=mode,
                                      timeout=timeout,
-                                     vectorized=vectorized).run()
+                                     vectorized=vectorized,
+                                     transport=transport).run()
     else:
         raise ReproError(f"unknown runtime {runtime!r}")
     elapsed = time.perf_counter() - t0
@@ -91,12 +93,15 @@ def run_kernel_bench(graph: Graph, *, fragments: int = 4, mode: str = "AP",
                      runtimes: Sequence[str] = RUNTIMES,
                      algorithms: Sequence[str] = ALGORITHMS,
                      timeout: float = 600.0,
+                     transport: Optional[str] = None,
                      progress=None) -> Dict[str, Any]:
     """Bench every algorithm x runtime, generic vs vectorized.
 
     Returns a JSON-serialisable report; ``results`` rows carry the two
     wall-clock times, the speedup, and whether the cross-check passed.
-    ``progress`` (optional callable) receives one line per finished row.
+    ``transport`` selects the multiprocess data plane (``"shm"`` /
+    ``"queue"``; None = runtime default).  ``progress`` (optional
+    callable) receives one line per finished row.
     """
     from repro.core.engine import Engine
     pg = HashPartitioner().partition(graph, fragments)
@@ -111,9 +116,11 @@ def run_kernel_bench(graph: Graph, *, fragments: int = 4, mode: str = "AP",
         Engine(program_cls(), pg, query, vectorized=True)
         for runtime in runtimes:
             t_gen, a_gen = _run_once(runtime, program_cls, pg, query,
-                                     mode, False, timeout)
+                                     mode, False, timeout,
+                                     transport=transport)
             t_vec, a_vec = _run_once(runtime, program_cls, pg, query,
-                                     mode, True, timeout)
+                                     mode, True, timeout,
+                                     transport=transport)
             ok, worst = _answers_match(a_gen, a_vec, tolerance)
             row = {
                 "algorithm": algorithm,
@@ -137,6 +144,7 @@ def run_kernel_bench(graph: Graph, *, fragments: int = 4, mode: str = "AP",
                   "directed": graph.directed},
         "fragments": fragments,
         "mode": mode,
+        "transport": transport,
         "results": rows,
         "all_match": all(r["match"] for r in rows),
     }

@@ -313,6 +313,7 @@ def cmd_bench(args) -> int:
         report = kernels.run_kernel_bench(
             graph, fragments=args.fragments, mode=args.mode,
             runtimes=kernels.parse_runtimes(args.runtimes),
+            transport=args.transport,
             progress=lambda line: print(line, file=sys.stderr))
         print(kernels.format_kernel_report(report))
         kernels.save_report(report, args.out)
@@ -479,6 +480,10 @@ def make_parser() -> argparse.ArgumentParser:
                          help="comma-separated runtimes for -e kernels")
     p_bench.add_argument("--mode", default="AP", choices=list(MODES),
                          help="parallel model for -e kernels")
+    p_bench.add_argument("--transport", default=None,
+                         choices=["shm", "queue"],
+                         help="multiprocess data plane for -e kernels "
+                              "(default: the runtime's default, shm)")
     p_bench.add_argument("--out", default="BENCH_kernels.json",
                          help="JSON report path for -e kernels")
     p_bench.set_defaults(func=cmd_bench)

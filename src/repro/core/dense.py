@@ -222,6 +222,26 @@ class DenseContext(FragmentContext):
         for v in nodes:
             self.mask[self.view.lid_of[v]] = True
 
+    def export_state(self) -> np.ndarray:
+        """Owned copy of the status array, for cheap state shipping.
+
+        A multiprocess worker reporting its final state pickles one
+        contiguous array instead of materialising a ``node -> scalar``
+        dict (which costs a Python-level lookup per node on both ends);
+        :meth:`import_state` loads it back into a context built over the
+        same fragment, whose local-id order is identical by construction.
+        """
+        return self.array.copy()
+
+    def import_state(self, array: np.ndarray) -> None:
+        """Load an :meth:`export_state` array back into this context."""
+        if getattr(array, "shape", None) != self.array.shape:
+            raise ProgramError(
+                f"dense state shape {getattr(array, 'shape', None)!r} does "
+                f"not match fragment {self.fragment.fid} "
+                f"({self.array.shape})")
+        self.array[:] = array
+
     def load_values(self, mapping: Mapping[Node, Any]) -> None:
         """Bulk-assign status variables from a ``node -> value`` mapping."""
         arr = self.array

@@ -91,6 +91,17 @@ class MessageBatch:
         return int(self.ids.size)
 
 
+def fresh_seq() -> int:
+    """Allocate the next wire sequence number.
+
+    Transport code that re-materialises a message (a fault-injected
+    duplicate, a rebuilt sub-batch) must give the copy its own ``seq``:
+    two wire messages sharing one sequence number break the seq-keyed
+    ledger accounting (sent = delivered + in-flight, per seq).
+    """
+    return next(_seq)
+
+
 def entry_count(messages: Iterable[Any]) -> int:
     """Total logical entries across messages (the ledger's currency)."""
     return sum(len(m) for m in messages)

@@ -39,6 +39,16 @@ class SnapshotError(ReproError):
     """Chandy-Lamport snapshot or recovery failed."""
 
 
+class TransportError(ReproError):
+    """The zero-copy data plane detected a torn or inconsistent state.
+
+    Raised when a shared-memory slab descriptor fails validation (stale
+    position, bad record magic, unknown payload dtype, generation
+    mismatch, or a length overrunning the published head) — a typed
+    error instead of a silent wrong-answer view.
+    """
+
+
 class WorkerCrashedError(ReproError):
     """A live runtime detected a dead worker (heartbeat loss or process
     death).

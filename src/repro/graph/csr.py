@@ -30,22 +30,32 @@ def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
 
     The ragged-range expansion used by every CSR kernel: given per-node
     slice starts and lengths, produce the flat edge-index array without a
-    Python loop.
+    Python loop.  One scatter + one cumsum over the output — cheaper than
+    the textbook double-``np.repeat`` formulation, whose repeats touch
+    edge-sized intermediates twice.
     """
-    total = int(counts.sum())
-    if total == 0:
+    nz = counts > 0
+    if not nz.all():
+        starts = starts[nz]
+        counts = counts[nz]
+    if starts.size == 0:
         return np.empty(0, dtype=np.int64)
     ends = np.cumsum(counts)
-    offsets = np.arange(total, dtype=np.int64) \
-        - np.repeat(ends - counts, counts)
-    return np.repeat(starts, counts) + offsets
+    out = np.ones(int(ends[-1]), dtype=np.int64)
+    out[0] = starts[0]
+    if starts.size > 1:
+        # at each range boundary, jump from the previous range's last
+        # index (starts[i-1] + counts[i-1] - 1) to starts[i]
+        out[ends[:-1]] = starts[1:] - starts[:-1] - counts[:-1] + 1
+    return np.cumsum(out)
 
 
 class CompactGraph:
     """Immutable CSR graph over integer node ids ``0..num_nodes-1``."""
 
     __slots__ = ("directed", "_n", "_indptr", "_indices", "_weights",
-                 "_rindptr", "_rindices", "_rweights", "_num_edges")
+                 "_rindptr", "_rindices", "_rweights", "_num_edges",
+                 "_src_out", "_src_in")
 
     def __init__(self, num_nodes: int, indptr: np.ndarray,
                  indices: np.ndarray, weights: np.ndarray,
@@ -60,6 +70,8 @@ class CompactGraph:
         self._rindices = rindices
         self._rweights = rweights
         self._num_edges = num_edges
+        self._src_out: Optional[np.ndarray] = None
+        self._src_in: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -173,6 +185,31 @@ class CompactGraph:
     @property
     def in_weights(self) -> np.ndarray:
         return self._rweights
+
+    @property
+    def out_sources(self) -> np.ndarray:
+        """Per-edge tail node: ``out_sources[e]`` is the source of the
+        edge stored at flat index ``e`` of ``out_indices``.
+
+        Built lazily once per graph and cached — it turns the per-wave
+        ``np.repeat(values[frontier], counts)`` gather the dense kernels
+        would otherwise do into a single fancy-index read.
+        """
+        if self._src_out is None:
+            self._src_out = np.repeat(
+                np.arange(self._n, dtype=np.int64),
+                np.diff(self._indptr))
+        return self._src_out
+
+    @property
+    def in_sources(self) -> np.ndarray:
+        """Per-edge head node of the reverse adjacency (see
+        :attr:`out_sources`)."""
+        if self._src_in is None:
+            self._src_in = np.repeat(
+                np.arange(self._n, dtype=np.int64),
+                np.diff(self._rindptr))
+        return self._src_in
 
     def out_arrays(self, v) -> Tuple[np.ndarray, np.ndarray]:
         """Zero-copy ``(indices, weights)`` views of ``v``'s out-edges.

@@ -26,11 +26,12 @@ worker, the per-channel counters agree with the threaded runtime's.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.messages import Message, MessageBatch
+from repro.core.messages import Message, MessageBatch, fresh_seq
 from repro.errors import RuntimeConfigError
 
 #: 64-bit odd constants for splitmix-style hashing
@@ -262,7 +263,10 @@ class FaultInjector:
             if _matches(f, msg.src, msg.dst) and _mix(
                     seed, _TAG_DUP, msg.src, msg.dst, k) < f.rate:
                 self._record("duplicate", msg, k)
-                deliveries.append((msg, 0.0))
+                # the duplicate is its own wire message: it must carry a
+                # fresh seq or seq-keyed ledgers double-count deliveries
+                deliveries.append(
+                    (dataclasses.replace(msg, seq=fresh_seq()), 0.0))
                 break
         for f in self._delays:
             if _matches(f, msg.src, msg.dst) and _mix(

@@ -28,6 +28,23 @@ All five parallel models are supported:
 
 Everything shipped must be picklable (the built-in PIE programs are).
 
+Transport (data plane vs control plane)
+---------------------------------------
+By default (``transport="shm"``) packed :class:`MessageBatch` traffic
+travels through per-``(src, dst)`` shared-memory ring buffers
+(:mod:`repro.runtime.slab`): a send is an array write plus a 64-byte
+record header, and the receiver reconstructs numpy views without copying
+or pickling.  Control traffic — heartbeats, fleet/``rmin`` broadcasts,
+``ds`` decisions, the termination probe, checkpoint state — stays on the
+``ctx.Queue`` control plane, as do messages the rings cannot carry
+(generic unpacked :class:`Message` objects, exotic payload dtypes,
+ring-full overflow): the queue path is always the correctness fallback.
+``transport="queue"`` (or ``REPRO_MP_TRANSPORT=queue``) restores the
+pure pickled-queue data plane.  Both planes share the same seams: the
+fault injector judges messages before they reach either, the termination
+ledger counts logical entries identically, and snapshot tokens ride the
+ring record header.
+
 Fault tolerance (paper, Section 6) mirrors the threaded runtime's and is
 off by default: a :class:`~repro.runtime.faultplan.FaultPlan` injects
 deterministic chaos inside each worker process (an injected crash is a real
@@ -47,6 +64,7 @@ import math
 import multiprocessing as mp
 import os
 import queue as queue_mod
+import select
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -64,10 +82,24 @@ from repro.runtime.detection import FailureDetector, FailureEvent
 from repro.runtime.faultplan import FaultPlan
 from repro.runtime.metrics import (RunMetrics, WorkerMetrics,
                                    registry_from_workers)
+from repro.runtime.slab import SlabArena, SlabPool
 from repro.runtime.snapshot import (GlobalSnapshot, LiveCheckpointer,
                                     stamp_messages)
 
 _MODES = ("AP", "BSP", "SSP", "AAP", "Hsync")
+_TRANSPORTS = ("shm", "queue")
+#: idle backoff of the slab-polling receive loop (seconds); short enough
+#: to keep round latency low, long enough to yield the CPU between polls
+_POLL_IDLE = 0.0003
+#: batch-fattening cap (seconds): after the first message lands, keep
+#: polling until a poll comes back empty or this much time has passed.
+#: Consolidating several peers' updates into one round cuts redundant
+#: recomputation (label-correcting programs re-relax a node once per
+#: arriving improvement) and halves the control-plane chatter per entry.
+_ACCUM_MAX = 0.002
+#: consecutive empty receive polls before a worker is "deep idle" and
+#: falls back to blocking on the queue plane instead of fast polling
+_IDLE_POLLS = 10
 
 
 @dataclass
@@ -103,6 +135,11 @@ class _WorkerReport:
     #: observability records collected in the worker process, as
     #: (type, absolute-monotonic-time, wid, round, payload) tuples
     events: List[Tuple] = field(default_factory=list)
+    #: data-plane accounting: batches/bytes that rode the shared-memory
+    #: rings, and batches that fell back to the pickled queue path
+    shm_batches: int = 0
+    shm_bytes: int = 0
+    shm_fallbacks: int = 0
 
 
 class _SingleFragmentEngine:
@@ -128,6 +165,61 @@ class _SingleFragmentEngine:
         return self._engine.contexts[self.wid]
 
 
+class _CommandPipe:
+    """Master -> worker command channel over a raw ``mp.Pipe``.
+
+    The command channel is strictly single-producer/single-consumer, so
+    a full ``mp.Queue`` (a pipe plus two semaphores plus a feeder thread
+    per producing process, ~2ms to build) buys nothing over a bare pipe.
+    With one pipe per worker this trims ~8ms of fixed setup per run and
+    four feeder threads' worth of context switches on small machines.
+
+    ``put`` blocks if the pipe buffer is full — safe for the rare
+    correctness commands (probe/stop/superstep/checkpoint) because the
+    worker drains the channel on every loop iteration, but periodic
+    fleet telemetry must use ``put_nowait_drop`` instead: dropping one
+    broadcast is harmless (the next comes within 20ms) while blocking
+    the master on a stalled worker is not.
+    """
+
+    def __init__(self, ctx):
+        self._rx, self._tx = ctx.Pipe(duplex=False)
+
+    def put(self, item) -> None:
+        try:
+            self._tx.send(item)
+        except (BrokenPipeError, OSError):
+            pass  # receiver already exited (stopped or crashed worker)
+
+    def put_nowait_drop(self, item) -> None:
+        """Send iff the pipe is writable right now; else drop silently."""
+        try:
+            _, writable, _ = select.select([], [self._tx], [], 0)
+            if writable:
+                self._tx.send(item)
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+
+    def get_nowait(self):
+        try:
+            if not self._rx.poll():
+                raise queue_mod.Empty
+            return self._rx.recv()
+        except (EOFError, OSError):
+            raise queue_mod.Empty from None
+
+    # Queue-API compat for the shared teardown sweep
+    def cancel_join_thread(self) -> None:
+        pass
+
+    def close(self) -> None:
+        for conn in (self._rx, self._tx):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
 def _drain(inbox: mp.Queue, first=None, wait: float = 0.0) -> List[Any]:
     """Collect everything currently in ``inbox`` (plus ``first``)."""
     batch = [] if first is None else [first]
@@ -146,25 +238,25 @@ def _drain(inbox: mp.Queue, first=None, wait: float = 0.0) -> List[Any]:
 def _worker_main(wid: int, mode: str, program: PIEProgram,
                  pg: PartitionedGraph, query: Any,
                  inboxes: List[mp.Queue], control: mp.Queue,
-                 command: mp.Queue, time_scale: float,
+                 command: "_CommandPipe", time_scale: float,
                  observe: bool = False,
                  ft: Optional[_FTConfig] = None,
                  vectorized: bool = False,
-                 policy_conf: Optional[Dict[str, Any]] = None) -> None:
+                 policy_conf: Optional[Dict[str, Any]] = None,
+                 run_id: Optional[str] = None) -> None:
     """Entry point of one worker process."""
     try:
         _worker_loop(wid, mode, program, pg, query, inboxes, control,
                      command, time_scale, observe, ft, vectorized,
-                     policy_conf)
+                     policy_conf, run_id)
     except Exception as exc:  # pragma: no cover - surfaced by master
         # ship the formatted traceback too: the master re-raises it, and
         # "worker 3 crashed: KeyError(5)" alone is undebuggable
         control.put(("error", wid, repr(exc), traceback.format_exc()))
 
 
-def _send_all(wid: int, messages, inboxes: List[mp.Queue],
-              control: mp.Queue, stats: Dict[str, int],
-              emit=None, round_no: int = 0) -> None:
+def _send_all(wid: int, messages, put, control: mp.Queue,
+              stats: Dict[str, int], emit=None, round_no: int = 0) -> None:
     if messages:
         # announce before the messages become receivable, so the master's
         # in-flight counter can only over-estimate, never under-estimate.
@@ -175,7 +267,7 @@ def _send_all(wid: int, messages, inboxes: List[mp.Queue],
         if emit is not None:
             emit(obs_events.MSG_SEND, round_no, dst=msg.dst,
                  bytes=msg.size_bytes, seq=msg.seq, entries=len(msg))
-        inboxes[msg.dst].put(msg)
+        put(msg)
         stats["messages"] += 1
         stats["entries"] += len(msg)
         stats["bytes"] += msg.size_bytes
@@ -183,11 +275,66 @@ def _send_all(wid: int, messages, inboxes: List[mp.Queue],
 
 def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                  time_scale, observe=False, ft=None,
-                 vectorized=False, policy_conf=None) -> None:
+                 vectorized=False, policy_conf=None, run_id=None) -> None:
     engine = _SingleFragmentEngine(program, pg, query, wid,
                                    vectorized=vectorized)
     inbox = inboxes[wid]
+    # zero-copy data plane: attach this worker's slab rings (the master
+    # created them before forking).  ``pool is None`` keeps the legacy
+    # pure-queue path byte-for-byte.
+    pool = (SlabPool(run_id, wid, pg.num_fragments)
+            if run_id is not None else None)
+    #: consecutive empty receive polls, for the escalating idle backoff
+    idle_polls = [0]
+
+    def put_msg(msg) -> None:
+        """Data-plane send: slab ring when it fits, queue otherwise."""
+        if pool is None or not pool.try_send(msg):
+            inboxes[msg.dst].put(msg)
+
+    def recv(wait: float = 0.0) -> List[Any]:
+        """Drain both planes; on the slab path, poll-sleep-poll instead
+        of blocking on the queue (the rings have no wakeup primitive).
+
+        When the first poll finds data, one further micro-sleep + poll
+        accumulates stragglers from peers mid-publish: marginally later
+        rounds, but fatter batches — fewer rounds, fewer control
+        messages, fewer context switches (the dominant cost when workers
+        outnumber cores).
+        """
+        if pool is None:
+            return _drain(inbox, wait=wait)
+        # deep-idle fallback: a worker whose polls keep coming up empty
+        # (a long convergence tail, or a generic-path run whose traffic
+        # is all on the queue plane) reverts to the legacy blocking
+        # queue get so idle pollers don't steal CPU from the workers
+        # doing the computing on oversubscribed machines
+        deep_idle = wait > 0 and idle_polls[0] >= _IDLE_POLLS
+        fresh = _drain(inbox, wait=wait if deep_idle else 0.0)
+        fresh.extend(pool.poll())
+        if not fresh and wait > 0 and not deep_idle:
+            time.sleep(_POLL_IDLE)
+            fresh = pool.poll()
+            fresh.extend(_drain(inbox))
+        if not fresh:
+            idle_polls[0] += 1
+            return fresh
+        idle_polls[0] = 0
+        grow_until = time.monotonic() + _ACCUM_MAX
+        while time.monotonic() < grow_until:
+            time.sleep(_POLL_IDLE)
+            more = pool.poll()
+            more.extend(_drain(inbox))
+            if not more:
+                break
+            fresh.extend(more)
+        return fresh
     stats = {"messages": 0, "entries": 0, "bytes": 0, "work": 0}
+    # round/rate reports feed the master's fleet broadcasts (AAP/SSP/
+    # Hsync) and the Hsync switching policy; AP and BSP consume neither,
+    # so skipping the per-round control message there removes one feeder
+    # -thread wake per round per worker
+    report_rounds = mode in ("AAP", "SSP", "Hsync")
     rounds = 0
     policy = AAPPolicy() if mode == "AAP" else None
     policy_conf = policy_conf or {}
@@ -221,7 +368,8 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
     hb_interval = ft.heartbeat_interval if ft is not None else 0.0
     last_hb = 0.0
     ckpt_token = None  # the checkpoint token this worker currently holds
-    delayed: List[Tuple[float, Any]] = []  # (due, msg): announced, held
+    #: (due, msg, round_no): announced and counted, held until due
+    delayed: List[Tuple[float, Any, int]] = []
     carry: List[Any] = []  # drained-but-unprocessed messages
     #: drained AND observed messages held back by SSP/Hsync gating; kept
     #: separate from ``carry`` so they are never double-observed
@@ -252,8 +400,15 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
         due = [x for x in delayed if x[0] <= now]
         if due:
             delayed[:] = [x for x in delayed if x[0] > now]
-            for _, m in due:
-                inboxes[m.dst].put(m)
+            for _, m, r in due:
+                # the MSG_SEND record is emitted here, when the message
+                # actually reaches the wire — its stats were counted at
+                # injection time, but omitting the event undercounted
+                # wire_bytes against stats["bytes"]
+                if emit is not None:
+                    emit(obs_events.MSG_SEND, r, dst=m.dst,
+                         bytes=m.size_bytes, seq=m.seq, entries=len(m))
+                put_msg(m)
 
     def ship(messages, round_no) -> None:
         """The transport seam: stamp, inject, announce, put."""
@@ -262,11 +417,11 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
         if ckpt_token is not None:
             messages = stamp_messages(messages, ckpt_token)
         if injector is None or not injector.message_faults:
-            _send_all(wid, messages, inboxes, control, stats, emit,
+            _send_all(wid, messages, put_msg, control, stats, emit,
                       round_no)
             return
         now_ship: List[Any] = []
-        later: List[Tuple[float, Any]] = []
+        later: List[Tuple[float, Any, int]] = []
         for msg in messages:
             deliveries = injector.on_send(msg)
             if emit is not None and (not deliveries or len(deliveries) > 1
@@ -282,9 +437,9 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                 if d <= 0:
                     now_ship.append(m)
                 else:
-                    later.append((time.monotonic() + d, m))
+                    later.append((time.monotonic() + d, m, round_no))
         wire = (sum(len(m) for m in now_ship)
-                + sum(len(m) for _, m in later))
+                + sum(len(m) for _, m, _ in later))
         if wire:
             # announce everything (including held messages) before any
             # becomes receivable: in-flight may only over-estimate
@@ -293,7 +448,7 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
             if emit is not None:
                 emit(obs_events.MSG_SEND, round_no, dst=m.dst,
                      bytes=m.size_bytes, seq=m.seq, entries=len(m))
-            inboxes[m.dst].put(m)
+            put_msg(m)
         delayed.extend(later)
 
     recv_total = 0
@@ -324,7 +479,7 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
         nonlocal ckpt_token
         if ckpt_token == token:
             return  # already held: ignore the request
-        fresh = _drain(inbox)
+        fresh = recv()
         count_recv(fresh)
         carry.extend(fresh)
         pre = [m for m in carry if getattr(m, "token", None) != token]
@@ -359,7 +514,8 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
             # balances the ("delivered", ...) this worker will report
             # once it processes the seeded batch
             control.put(("sent", wid, sum(len(m) for m in carry)))
-        control.put(("round", wid, rounds, last_round_dur, rate, 0))
+        if report_rounds:
+            control.put(("round", wid, rounds, last_round_dur, rate, 0))
     else:
         crash_if_due()  # at_round <= 0 means die before PEval
         started0 = time.monotonic()
@@ -373,7 +529,8 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                  duration=time.monotonic() - started0,
                  messages=len(out.messages))
         ship(out.messages, 0)
-        control.put(("round", wid, rounds, last_round_dur, rate, 0))
+        if report_rounds:
+            control.put(("round", wid, rounds, last_round_dur, rate, 0))
 
     def run_round(batch) -> None:
         nonlocal rounds, last_round_dur
@@ -395,9 +552,14 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                  duration=last_round_dur, messages=len(result.messages))
         control.put(("delivered", wid, sum(len(m) for m in batch)))
         ship(result.messages, rounds - 1)
+        if pool is not None:
+            # the engine copied what it needed (concatenate/materialise);
+            # the ring space behind the processed views can be reclaimed
+            pool.release(batch)
         # eta (batches consumed) rides along for the master's Hsync policy
-        control.put(("round", wid, rounds, last_round_dur, rate,
-                     len(batch)))
+        if report_rounds:
+            control.put(("round", wid, rounds, last_round_dur, rate,
+                         len(batch)))
 
     def observe_arrivals(batch) -> None:
         nonlocal last_arrival, rate
@@ -434,11 +596,13 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                 continue
             if kind == "probe":
                 # the paper's terminate broadcast: ack iff still inactive
-                empty = inbox.empty() and not carry and not held
+                # (both planes: queue inbox AND unparsed ring records)
+                empty = (inbox.empty() and not carry and not held
+                         and (pool is None or pool.drained))
                 control.put(("ack" if empty else "wait", wid))
                 continue
             if kind == "superstep":
-                fresh = _drain(inbox)
+                fresh = recv()
                 count_recv(fresh)
                 report_late(fresh)
                 batch = carry + fresh
@@ -454,7 +618,7 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
             time.sleep(0.0005)
             continue
 
-        fresh = _drain(inbox, wait=0.002)
+        fresh = recv(wait=0.002)
         if ft is not None:
             count_recv(fresh)
             report_late(fresh)
@@ -515,7 +679,7 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                      reason=why.pop("reason", ""), **why)
             if ds > 0 and not math.isinf(ds):
                 time.sleep(min(ds * time_scale, 0.01))
-                accumulated = _drain(inbox)
+                accumulated = recv()
                 if ft is not None:
                     count_recv(accumulated)
                     report_late(accumulated)
@@ -524,11 +688,22 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
         run_round(batch)
 
     ctx = engine.context
+    # dense contexts ship their state as one contiguous array: pickling a
+    # node -> scalar dict costs a Python-level lookup per node on both
+    # ends, which dominated the run tail at bench sizes
+    final_values = (("__dense__", ctx.export_state())
+                    if hasattr(ctx, "export_state") else dict(ctx.values))
     control.put(("done", wid, _WorkerReport(
         wid=wid, rounds=rounds, work=stats["work"],
         messages_sent=stats["messages"], bytes_sent=stats["bytes"],
-        values=dict(ctx.values), scratch=dict(ctx.scratch),
-        events=events)))
+        values=final_values, scratch=dict(ctx.scratch),
+        events=events,
+        shm_batches=pool.sent_batches if pool is not None else 0,
+        shm_bytes=pool.sent_bytes if pool is not None else 0,
+        shm_fallbacks=pool.fallbacks if pool is not None else 0)))
+    # no pool.close() here: numpy views into the slabs may still be alive
+    # (closing would raise BufferError); process exit unmaps, and the
+    # master's arena sweep owns the unlink
 
 
 class MultiprocessRuntime:
@@ -553,10 +728,24 @@ class MultiprocessRuntime:
                  snapshot: Optional[GlobalSnapshot] = None,
                  vectorized: bool = False,
                  staleness_bound: Optional[int] = None,
-                 hsync_policy: Optional[HsyncPolicy] = None):
+                 hsync_policy: Optional[HsyncPolicy] = None,
+                 transport: Optional[str] = None,
+                 slab_bytes: int = 1 << 20):
         if mode not in _MODES:
             raise RuntimeConfigError(
                 f"multiprocess runtime supports {_MODES}, got {mode!r}")
+        if transport is None:
+            transport = os.environ.get("REPRO_MP_TRANSPORT", "shm")
+        if transport not in _TRANSPORTS:
+            raise RuntimeConfigError(
+                f"multiprocess transport must be one of {_TRANSPORTS}, "
+                f"got {transport!r}")
+        #: requested data plane; :attr:`transport_used` reports what the
+        #: last run actually got (shm falls back to queue where
+        #: shared memory is unavailable)
+        self.transport = transport
+        self.slab_bytes = slab_bytes
+        self.transport_used: Optional[str] = None
         #: SSP bound c (same default as make_policy) and the master-side
         #: Hsync switching heuristic; both inert for the other modes
         self.staleness_bound = 1 if staleness_bound is None \
@@ -617,7 +806,18 @@ class MultiprocessRuntime:
         ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
         inboxes = [ctx.Queue() for _ in range(m)]
         control = ctx.Queue()
-        commands = [ctx.Queue() for _ in range(m)]
+        commands = [_CommandPipe(ctx) for _ in range(m)]
+        # data plane: pre-create the full channel mesh before forking, so
+        # worker attachment can never race slab creation.  Any failure
+        # (no /dev/shm, exhausted segments) falls back to the queue plane.
+        arena = None
+        if self.transport == "shm" and m > 1:
+            try:
+                arena = SlabArena(m, self.slab_bytes)
+            except Exception:  # pragma: no cover - platform-dependent
+                arena = None
+        self.transport_used = "shm" if arena is not None else "queue"
+        run_id = arena.run_id if arena is not None else None
         procs = [ctx.Process(
             target=_worker_main,
             args=(wid, self.mode, self.program, self.pg, self.query,
@@ -626,7 +826,8 @@ class MultiprocessRuntime:
                   self.vectorized,
                   {"staleness_bound": self.staleness_bound,
                    "switch_cost": (self.hsync.switch_cost
-                                   if self.hsync is not None else 1.0)}),
+                                   if self.hsync is not None else 1.0)},
+                  run_id),
             daemon=True) for wid in range(m)]
         started = time.monotonic()
         self._started = started
@@ -657,6 +858,11 @@ class MultiprocessRuntime:
                     q.close()
                 except Exception:  # pragma: no cover
                     pass
+            # unlink every slab on both the clean path and the
+            # terminate/crash path — runs after the workers are joined or
+            # killed, so no /dev/shm segment outlives the run
+            if arena is not None:
+                arena.unlink_all()
         makespan = time.monotonic() - started
         return self._assemble(reports, makespan)
 
@@ -668,7 +874,7 @@ class MultiprocessRuntime:
 
     # ------------------------------------------------------------------
     def _master_loop(self, m: int, control: mp.Queue,
-                     commands: List[mp.Queue],
+                     commands: List["_CommandPipe"],
                      procs: Optional[List] = None
                      ) -> Dict[int, _WorkerReport]:
         deadline = time.monotonic() + self.timeout
@@ -792,7 +998,10 @@ class MultiprocessRuntime:
             if self.hsync is not None:
                 fleet["hmode"] = self.hsync.mode
                 fleet["switches"] = self.hsync.switches
-            broadcast(("fleet", fleet))
+            # telemetry, not protocol: skip a worker whose pipe is full
+            # rather than block the master behind a stalled consumer
+            for cq in commands:
+                cq.put_nowait_drop(("fleet", fleet))
 
         last_fleet = 0.0
         while True:
@@ -803,7 +1012,11 @@ class MultiprocessRuntime:
             if self._ft:
                 ft_check()
             try:
-                evt = control.get(timeout=0.01)
+                # poll faster once every worker looks inactive: the
+                # remaining traffic is the probe/ack dance, and a 10ms
+                # block per hop would dominate short runs' tails
+                evt = control.get(
+                    timeout=0.002 if all(inactive) else 0.01)
             except queue_mod.Empty:
                 evt = None
             if evt is not None:
@@ -921,7 +1134,12 @@ class MultiprocessRuntime:
         engine = Engine(self.program, self.pg, self.query,
                         vectorized=self.vectorized)
         for wid, report in reports.items():
-            engine.contexts[wid].values = report.values
+            vals = report.values
+            if (isinstance(vals, tuple) and len(vals) == 2
+                    and vals[0] == "__dense__"):
+                engine.contexts[wid].import_state(vals[1])
+            else:
+                engine.contexts[wid].values = vals
             engine.contexts[wid].scratch = report.scratch
             engine.contexts[wid].changed = set()
         answer = engine.assemble()
@@ -929,7 +1147,12 @@ class MultiprocessRuntime:
             wid=wid, rounds=rep.rounds, messages_sent=rep.messages_sent,
             bytes_sent=rep.bytes_sent, work_done=rep.work)
             for wid, rep in sorted(reports.items())]
-        extras: Dict[str, Any] = {}
+        extras: Dict[str, Any] = {"transport": {
+            "kind": self.transport_used or self.transport,
+            "shm_batches": sum(r.shm_batches for r in reports.values()),
+            "shm_bytes": sum(r.shm_bytes for r in reports.values()),
+            "queue_fallbacks": sum(r.shm_fallbacks
+                                   for r in reports.values())}}
         if self.obs is not None:
             self._merge_observations(reports)
             registry_from_workers(workers, into=self.obs.metrics)

@@ -420,9 +420,11 @@ class ThreadedRuntime:
                 deliveries = self._injector.on_send(msg)
                 self._emit_injections(msg, deliveries)
                 if not deliveries:
-                    # dropped: produced but never reaches the wire
-                    src.messages_sent += 1
-                    src.bytes_sent += msg.size_bytes
+                    # dropped: never reaches the wire.  Producer stats
+                    # count wire messages only, matching the per-entry
+                    # batch path (a partially-dropped batch counts its
+                    # surviving sub-batches, not the dropped entries) —
+                    # each logical entry is counted exactly once
                     return
         for m, delay in deliveries:
             self.master.message_sent()

@@ -44,6 +44,23 @@ def pytest_runtest_call(item):
         signal.signal(signal.SIGALRM, previous)
 
 
+@pytest.fixture(autouse=True)
+def no_shm_leaks():
+    """Every test must leave ``/dev/shm`` free of repro-owned segments.
+
+    The multiprocess runtime's shared-memory data plane unlinks its slabs
+    in the master's ``finally`` — on clean exits, aborts, and chaos runs
+    with injected crashes alike.  A residual segment here means a leaked
+    lifetime path; fail the test that introduced it rather than letting
+    segments accumulate across the suite.
+    """
+    from repro.runtime.slab import residual_segments
+    before = set(residual_segments())
+    yield
+    leaked = [s for s in residual_segments() if s not in before]
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
+
+
 @pytest.fixture
 def small_grid():
     """10x10 weighted grid (traffic-like), deterministic."""
