@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint trace-demo fuzz fuzz-smoke
+.PHONY: test lint trace-demo fuzz fuzz-smoke chaos-smoke
 
 ## tier-1 test suite (the CI gate)
 test:
@@ -28,6 +28,13 @@ fuzz-smoke:
 		--smoke --artifact-dir fuzz-artifacts
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.cli fuzz --differential \
 		--graph grid:6x6 -m 3 --quiet
+
+## the CI respawn gate: every cell of {threaded,multiprocess} x
+## {AAP,BSP} x {1,2 crashes} must absorb its crashes in place (rung 1
+## of the degradation ladder; see docs/fault_tolerance.md)
+chaos-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/chaos_smoke.py \
+		--out chaos-out
 
 ## example observability run: straggler SSSP -> Chrome trace + audit
 trace-demo:

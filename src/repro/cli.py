@@ -175,7 +175,10 @@ def cmd_chaos(args) -> int:
         checkpoint_interval=args.checkpoint_interval,
         heartbeat_interval=args.heartbeat_interval,
         heartbeat_timeout=args.heartbeat_timeout, timeout=args.timeout,
-        retry=RetryPolicy(max_retries=args.retries))
+        respawn_budget=args.respawn_budget, tolerance=args.tolerance,
+        retry=RetryPolicy(max_retries=args.retries,
+                          deadline=args.retry_deadline,
+                          jitter=args.retry_jitter, seed=args.fault_seed))
     report["fault_plan"] = {
         "seed": plan.seed, "faults": [repr(f) for f in plan.faults]}
     print(json.dumps(report, indent=2))
@@ -425,6 +428,20 @@ def make_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--heartbeat-timeout", type=float, default=0.5)
     p_chaos.add_argument("--retries", type=int, default=2,
                          help="recovery attempts before giving up")
+    p_chaos.add_argument("--respawn-budget", type=int, default=1,
+                         help="in-place respawns per worker slot before a "
+                              "death degrades to whole-run rollback "
+                              "(0 disables rung 1)")
+    p_chaos.add_argument("--tolerance", type=float, default=None,
+                         help="max per-node diff vs the fault-free "
+                              "reference (default: inferred from the "
+                              "workload; 0 = exact)")
+    p_chaos.add_argument("--retry-deadline", type=float, default=None,
+                         help="total wall-clock budget in seconds for the "
+                              "rollback ladder rung")
+    p_chaos.add_argument("--retry-jitter", type=float, default=0.0,
+                         help="relative backoff jitter in [0, 1], seeded "
+                              "by --fault-seed")
     p_chaos.add_argument("--timeout", type=float, default=60.0)
     p_chaos.set_defaults(func=cmd_chaos)
 

@@ -272,6 +272,43 @@ class Engine:
                 entry_bytes=entry_bytes))
         return out
 
+    def derive_reship(self, wid: int, dst: int, round_no: int,
+                      token: Any = None) -> List[Message]:
+        """Re-ship fragment ``wid``'s *entire* border state to ``dst``.
+
+        Surgical recovery's anti-entropy push: after a worker is replaced,
+        each surviving peer re-sends its current value for every ship-set
+        node routed to the replacement, regardless of change tracking.
+        Safe exactly when the program's aggregation is idempotent
+        (:attr:`PIEProgram.reship_capable`): values the replacement — or
+        anyone else — already absorbed are re-applied without effect, and
+        the change masks are left untouched so normal derivation is not
+        perturbed.
+        """
+        if self.vectorized:
+            import numpy as np
+            frag = self.pg.fragments[wid]
+            ctx = self.contexts[wid]
+            route = self._dense_routes[wid].get(dst)
+            if route is None or not route.any():
+                return []
+            lids = np.nonzero(route)[0]
+            payloads = np.asarray(self.program.dense_emit(frag, ctx, lids))
+            return [MessageBatch(
+                src=wid, dst=dst, round=round_no,
+                ids=ctx.view.gids[lids], payloads=payloads, token=token,
+                entry_bytes=self.program.value_size_bytes(None))]
+        frag = self.pg.fragments[wid]
+        ctx = self.contexts[wid]
+        per_dest: Dict[int, List] = {}
+        for v in sorted(self._ship_sets[wid], key=repr):
+            if dst not in self.program.destinations(self.pg, frag, v):
+                continue
+            per_dest.setdefault(dst, []).append(
+                (v, self.program.emit(frag, ctx, v)))
+        return make_messages(wid, round_no, per_dest, token=token,
+                             entry_bytes=self.program.value_size_bytes(None))
+
     def assemble(self) -> Any:
         """Apply Assemble to the partial results of all workers."""
         if self.vectorized:

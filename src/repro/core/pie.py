@@ -134,6 +134,20 @@ class PIEProgram(abc.ABC):
     #: configurable aggregation topology)
     cacheable_routes: bool = True
 
+    @property
+    def reship_capable(self) -> bool:
+        """True when peers may re-ship their full border state at-will.
+
+        Surgical recovery re-sends each survivor's current ship-set values
+        to a respawned worker; that is only sound when delivering a value
+        twice is a no-op.  Idempotent lattice aggregators (Min/Max)
+        qualify; accumulative ones (Sum) do not — their ``emit`` hooks
+        ship-and-reset deltas, so a re-send would double-count (and the
+        emit itself is destructive).  Programs with custom non-idempotent
+        ``emit``/``apply_incoming`` semantics should override this.
+        """
+        return not getattr(self.aggregator, "accumulative", False)
+
     # ------------------------------------------------------------------
     # declarations
     # ------------------------------------------------------------------

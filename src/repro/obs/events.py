@@ -44,10 +44,17 @@ ROLLBACK = "rollback"
 RETRY = "retry"
 #: the fault plan injected an event (crash, drop, delay, duplicate)
 FAULT_INJECTED = "fault_injected"
+#: a dead worker was respawned in place (wid = respawned worker)
+WORKER_RESPAWN = "worker_respawn"
+#: a replacement took over its fragment: reseeded + peers re-shipped
+FRAGMENT_TAKEOVER = "fragment_takeover"
+#: recovery fell down one rung of the degradation ladder
+DEGRADE = "degrade"
 
 EVENT_TYPES = (ROUND_START, ROUND_END, MSG_SEND, MSG_DELIVER, DS_DECISION,
                STATUS_CHANGE, BARRIER, TERMINATE_PROBE, HEARTBEAT_MISS,
-               FAILURE_DETECTED, CHECKPOINT, ROLLBACK, RETRY, FAULT_INJECTED)
+               FAILURE_DETECTED, CHECKPOINT, ROLLBACK, RETRY, FAULT_INJECTED,
+               WORKER_RESPAWN, FRAGMENT_TAKEOVER, DEGRADE)
 
 #: canonical payload keys per event type (shared by every runtime)
 SCHEMA: Dict[str, tuple] = {
@@ -66,6 +73,9 @@ SCHEMA: Dict[str, tuple] = {
     ROLLBACK: ("token", "attempt"),
     RETRY: ("attempt", "backoff"),
     FAULT_INJECTED: ("fault", "detail"),
+    WORKER_RESPAWN: ("incarnation", "seeded", "token", "budget_left"),
+    FRAGMENT_TAKEOVER: ("incarnation", "reshipped", "duration"),
+    DEGRADE: ("frm", "to", "reason"),
 }
 
 

@@ -57,9 +57,38 @@ class FailureDetector:
         self._last: Dict[int, float] = {w: now for w in range(num_workers)}
         self._last_miss: Dict[int, float] = {}
         self._failed: set = set()
+        #: per-worker incarnation: bumped on respawn so a late heartbeat
+        #: from the dead incarnation can never vouch for the replacement
+        self._incarnation: Dict[int, int] = {w: 0 for w in range(num_workers)}
 
-    def beat(self, wid: int, now: float) -> None:
+    def beat(self, wid: int, now: float, incarnation: int = 0) -> None:
+        """Record a heartbeat — unless it cannot vouch for a live worker.
+
+        A beat from a worker already declared failed is a *resurrection*
+        and is ignored: the declaration stands until :meth:`respawn`.  A
+        beat keyed to a stale incarnation (the dead process's backlog
+        draining after its replacement started) is likewise dropped.
+        """
+        if wid in self._failed:
+            return
+        if incarnation != self._incarnation.get(wid, 0):
+            return
         self._last[wid] = now
+
+    def respawn(self, wid: int, now: float) -> int:
+        """Un-declare ``wid`` for its replacement; returns the new
+        incarnation that the replacement's heartbeats must carry."""
+        self._failed.discard(wid)
+        self._last_miss.pop(wid, None)
+        self._last[wid] = now
+        self._incarnation[wid] = self._incarnation.get(wid, 0) + 1
+        return self._incarnation[wid]
+
+    def incarnation(self, wid: int) -> int:
+        return self._incarnation.get(wid, 0)
+
+    def is_failed(self, wid: int) -> bool:
+        return wid in self._failed
 
     def last_beat(self, wid: int) -> float:
         return self._last[wid]

@@ -158,18 +158,45 @@ class FaultPlan:
         return FaultInjector(self)
 
     def without_crashes(self) -> "FaultPlan":
-        """The same plan minus crash faults.
+        """The same plan minus *all* crash faults.
 
-        Recovery restarts use this by default: a restarted worker must not
-        deterministically re-crash at the same round, or no retry budget
-        would ever suffice.
+        Blunt instrument: it also disarms crashes that never fired, so a
+        multi-crash plan loses its later crashes across restart attempts.
+        Supervisors should prefer :meth:`without_crash`, which surgically
+        removes only the crash that already happened.
         """
         return FaultPlan(seed=self.seed, faults=tuple(
             f for f in self.faults if not isinstance(f, CrashFault)))
 
+    def without_crash(self, wid: int,
+                      at_round: Optional[int] = None) -> "FaultPlan":
+        """The same plan minus *one* fired crash of worker ``wid``.
+
+        Removes the matching crash fault (the earliest-scheduled one for
+        ``wid`` when ``at_round`` is None), leaving every other fault —
+        including later crashes of the same worker — armed.  A respawned
+        worker therefore does not deterministically re-die at the same
+        round, but the rest of the chaos script still plays out.
+        """
+        candidates = sorted(
+            (f for f in self.faults
+             if isinstance(f, CrashFault) and f.wid == wid
+             and (at_round is None or f.at_round == at_round)),
+            key=lambda f: f.at_round)
+        if not candidates:
+            return self
+        fired = candidates[0]
+        faults = list(self.faults)
+        faults.remove(fired)
+        return FaultPlan(seed=self.seed, faults=tuple(faults))
+
     @property
     def has_crashes(self) -> bool:
         return any(isinstance(f, CrashFault) for f in self.faults)
+
+    @property
+    def crash_faults(self) -> Tuple:
+        return tuple(f for f in self.faults if isinstance(f, CrashFault))
 
 
 def _matches(fault, src: int, dst: int) -> bool:
@@ -188,9 +215,16 @@ class FaultInjector:
 
     def __init__(self, plan: FaultPlan):
         self.plan = plan
-        self._crashes: Dict[int, int] = {
-            f.wid: f.at_round for f in plan.faults
-            if isinstance(f, CrashFault)}
+        # per-worker crash schedule, earliest first: a worker with two
+        # scheduled crashes fires the earliest, and — once the runtime
+        # respawns it and calls :meth:`reset_worker` — the next one is
+        # still armed (a dict keyed on wid would silently collapse them)
+        self._crashes: Dict[int, List[int]] = {}
+        for f in plan.faults:
+            if isinstance(f, CrashFault):
+                self._crashes.setdefault(f.wid, []).append(f.at_round)
+        for schedule in self._crashes.values():
+            schedule.sort()
         self._stragglers: Dict[int, float] = {
             f.wid: f.factor for f in plan.faults
             if isinstance(f, StragglerFault)}
@@ -211,14 +245,28 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def crash_due(self, wid: int, round_no: int) -> bool:
         """True when ``wid`` must die before running ``round_no``."""
-        at = self._crashes.get(wid)
-        if at is None or wid in self._crashed or round_no < at:
+        schedule = self._crashes.get(wid)
+        if not schedule or wid in self._crashed or round_no < schedule[0]:
             return False
         with self._lock:
             self._crashed.add(wid)
+            schedule.pop(0)
             self.records.append(InjectionRecord(
                 kind="crash", wid=wid, detail=f"round={round_no}"))
         return True
+
+    def reset_worker(self, wid: int) -> None:
+        """Re-arm ``wid`` after an in-place respawn.
+
+        The fired crash was already consumed by :meth:`crash_due`; this
+        only clears the "already dead" latch so the respawned worker's
+        remaining schedule (if any) can fire.  Used by the threaded
+        runtime, whose respawned workers share this injector; multiprocess
+        replacements build a fresh injector from
+        :meth:`FaultPlan.without_crash` instead.
+        """
+        with self._lock:
+            self._crashed.discard(wid)
 
     def maybe_crash(self, wid: int, round_no: int) -> None:
         """Raise :class:`InjectedCrash` when the plan schedules one here."""

@@ -56,6 +56,21 @@ Periodic Chandy-Lamport checkpoints run over the command/control channels:
 the master broadcasts ``("checkpoint", token)``, each worker snapshots its
 state before its next send and ships it back, late un-tokened messages are
 added to the snapshot they logically precede.
+
+Surgical recovery (``respawn_budget > 0``) upgrades a detected death from
+"abandon the run" to an in-place repair: the master quarantines the dead
+worker (survivors take a final drain, fence its slab rings, and park
+traffic bound for it), settles the per-channel termination ledger, resets
+the rings under a bumped generation number, respawns a replacement process
+seeded from the last complete checkpoint's fragment state, and rejoins it
+— surviving peers re-ship their full border through the normal transport
+seam, which is safe exactly when the program's aggregation is idempotent
+(:attr:`~repro.core.pie.PIEProgram.reship_capable`).  Surviving workers
+never stop in the asynchronous modes and only pause at the next barrier in
+BSP.  When the rung is unavailable (budget spent, accumulative program,
+single worker, or a protocol step times out) the failure degrades to
+:class:`~repro.errors.WorkerCrashedError` and the recovery ladder in
+:mod:`repro.runtime.recovery` takes over.
 """
 
 from __future__ import annotations
@@ -82,9 +97,10 @@ from repro.runtime.detection import FailureDetector, FailureEvent
 from repro.runtime.faultplan import FaultPlan
 from repro.runtime.metrics import (RunMetrics, WorkerMetrics,
                                    registry_from_workers)
-from repro.runtime.slab import SlabArena, SlabPool
+from repro.runtime.slab import (ShmMessageBatch, SlabArena, SlabPool,
+                                to_owned)
 from repro.runtime.snapshot import (GlobalSnapshot, LiveCheckpointer,
-                                    stamp_messages)
+                                    apply_snapshot_values, stamp_messages)
 
 _MODES = ("AP", "BSP", "SSP", "AAP", "Hsync")
 _TRANSPORTS = ("shm", "queue")
@@ -112,9 +128,18 @@ class _FTConfig:
 
     fault_plan: Optional[FaultPlan] = None
     heartbeat_interval: float = 0.02
-    seed_values: Optional[Dict[Any, Any]] = None
+    seed_values: Optional[Any] = None
     seed_scratch: Optional[Dict[str, Any]] = None
     seed_messages: List[Any] = field(default_factory=list)
+    #: which incarnation of this worker slot the process is; heartbeats
+    #: and ledger reports carry it so the master can reject the dead
+    #: incarnation's backlog after a takeover
+    incarnation: int = 0
+    #: checkpoint-conservation counter bases for a replacement worker:
+    #: the master seeds them from its channel ledger so cumulative
+    #: sent/recv accounting stays balanced across incarnations
+    sent_base: int = 0
+    recv_base: int = 0
 
     @property
     def seeded(self) -> bool:
@@ -159,6 +184,10 @@ class _SingleFragmentEngine:
     def inceval(self, batches, round_no):
         return self._engine.run_inceval(self.wid, batches,
                                         round_no=round_no)
+
+    def reship(self, dst, round_no):
+        """Full border re-ship to a respawned peer (surgical recovery)."""
+        return self._engine.derive_reship(self.wid, dst, round_no)
 
     @property
     def context(self):
@@ -255,14 +284,25 @@ def _worker_main(wid: int, mode: str, program: PIEProgram,
         control.put(("error", wid, repr(exc), traceback.format_exc()))
 
 
+def _by_dst(messages) -> Dict[int, int]:
+    """Logical-entry counts per destination, for the channel ledger."""
+    out: Dict[int, int] = {}
+    for m in messages:
+        out[m.dst] = out.get(m.dst, 0) + len(m)
+    return out
+
+
 def _send_all(wid: int, messages, put, control: mp.Queue,
-              stats: Dict[str, int], emit=None, round_no: int = 0) -> None:
+              stats: Dict[str, int], emit=None, round_no: int = 0,
+              incarnation: int = 0) -> None:
     if messages:
         # announce before the messages become receivable, so the master's
         # in-flight counter can only over-estimate, never under-estimate.
         # The ledger counts *logical entries* (len of a Message or a
-        # packed MessageBatch), so batching doesn't skew termination.
-        control.put(("sent", wid, sum(len(m) for m in messages)))
+        # packed MessageBatch) per directed channel, so batching doesn't
+        # skew termination and a takeover can settle exactly the dead
+        # worker's channels.
+        control.put(("sent", wid, _by_dst(messages), incarnation))
     for msg in messages:
         if emit is not None:
             emit(obs_events.MSG_SEND, round_no, dst=msg.dst,
@@ -366,6 +406,9 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
     injector = (ft.fault_plan.injector()
                 if ft is not None and ft.fault_plan is not None else None)
     hb_interval = ft.heartbeat_interval if ft is not None else 0.0
+    incarnation = ft.incarnation if ft is not None else 0
+    sent_base = ft.sent_base if ft is not None else 0
+    recv_base = ft.recv_base if ft is not None else 0
     last_hb = 0.0
     ckpt_token = None  # the checkpoint token this worker currently holds
     #: (due, msg, round_no): announced and counted, held until due
@@ -374,6 +417,12 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
     #: drained AND observed messages held back by SSP/Hsync gating; kept
     #: separate from ``carry`` so they are never double-observed
     held: List[Any] = []
+    #: peers currently under master quarantine (dead, not yet respawned)
+    quarantined: set = set()
+    #: messages produced for a quarantined peer: kept out of the wire and
+    #: the ledger; discarded at rejoin (the full border re-ship that
+    #: accompanies rejoin dominates them under monotone aggregation)
+    parked: Dict[int, List[Any]] = {}
 
     def beat() -> None:
         nonlocal last_hb
@@ -381,7 +430,7 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
             return
         now = time.monotonic()
         if now - last_hb >= hb_interval:
-            control.put(("heartbeat", wid))
+            control.put(("heartbeat", wid, incarnation))
             last_hb = now
 
     def crash_if_due() -> None:
@@ -411,14 +460,27 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                 put_msg(m)
 
     def ship(messages, round_no) -> None:
-        """The transport seam: stamp, inject, announce, put."""
+        """The transport seam: park, stamp, inject, announce, put."""
         if not messages:
             return
+        if quarantined:
+            # park before stamping/injection/announce: parked traffic
+            # never touches the ledger or the stats, so discarding it at
+            # rejoin is accounting-neutral
+            kept = []
+            for m in messages:
+                if m.dst in quarantined:
+                    parked.setdefault(m.dst, []).append(m)
+                else:
+                    kept.append(m)
+            messages = kept
+            if not messages:
+                return
         if ckpt_token is not None:
             messages = stamp_messages(messages, ckpt_token)
         if injector is None or not injector.message_faults:
             _send_all(wid, messages, put_msg, control, stats, emit,
-                      round_no)
+                      round_no, incarnation)
             return
         now_ship: List[Any] = []
         later: List[Tuple[float, Any, int]] = []
@@ -438,12 +500,13 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                     now_ship.append(m)
                 else:
                     later.append((time.monotonic() + d, m, round_no))
-        wire = (sum(len(m) for m in now_ship)
-                + sum(len(m) for _, m, _ in later))
+        wire = _by_dst(now_ship)
+        for _, m, _ in later:
+            wire[m.dst] = wire.get(m.dst, 0) + len(m)
         if wire:
             # announce everything (including held messages) before any
             # becomes receivable: in-flight may only over-estimate
-            control.put(("sent", wid, wire))
+            control.put(("sent", wid, wire, incarnation))
         for m in now_ship:
             if emit is not None:
                 emit(obs_events.MSG_SEND, round_no, dst=m.dst,
@@ -467,28 +530,6 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
             if tok is not None:
                 recv_by_token[tok] = recv_by_token.get(tok, 0) + len(m)
 
-    def take_checkpoint(token) -> None:
-        """Paper, Section 6: snapshot local state before any further send.
-
-        Messages already drained (or sitting in the inbox) that do *not*
-        carry the token belong to the pre-snapshot channel state; they are
-        both recorded and kept for normal processing.  The report carries
-        this worker's cumulative un-tokened send/receive counts so the
-        master can tell when the cut's channels have fully flushed.
-        """
-        nonlocal ckpt_token
-        if ckpt_token == token:
-            return  # already held: ignore the request
-        fresh = recv()
-        count_recv(fresh)
-        carry.extend(fresh)
-        pre = [m for m in carry if getattr(m, "token", None) != token]
-        ctx = engine.context
-        control.put(("ckpt_state", wid, token, dict(ctx.values),
-                     dict(ctx.scratch), list(pre), stats["entries"],
-                     recv_total - recv_by_token.get(token, 0)))
-        ckpt_token = token
-
     def report_late(batch) -> None:
         """Un-tokened arrivals after our record: channel state of the
         snapshot (the master adds them to the matching one)."""
@@ -498,22 +539,63 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
             if getattr(m, "token", None) != ckpt_token:
                 control.put(("ckpt_late", wid, ckpt_token, m))
 
-    if ft is not None and ft.seeded:
-        # rollback restart: restore state, skip PEval (it logically ran
-        # before the checkpoint), treat the snapshot's channel messages
-        # as a pre-announced carry batch
+    def drain_in(wait: float = 0.0) -> List[Any]:
+        """Receive from both planes and credit the channel ledger.
+
+        The ``drained`` report is the receive-side half of the master's
+        per-channel conservation books: it fires when the messages leave
+        the wire (not when a round consumes them), so in-flight reflects
+        transport occupancy exactly and a takeover can settle the dead
+        worker's channels without guessing what its peers had buffered.
+        """
+        fresh = recv(wait=wait)
+        if fresh:
+            by_src: Dict[int, int] = {}
+            for m in fresh:
+                by_src[m.src] = by_src.get(m.src, 0) + len(m)
+            control.put(("drained", wid, by_src, incarnation))
+            count_recv(fresh)
+            report_late(fresh)
+        return fresh
+
+    def take_checkpoint(token) -> None:
+        """Paper, Section 6: snapshot local state before any further send.
+
+        Messages already drained (or sitting in the inbox) that do *not*
+        carry the token belong to the pre-snapshot channel state; they are
+        both recorded and kept for normal processing.  The report carries
+        this worker's cumulative un-tokened send/receive counts (offset by
+        the incarnation bases a replacement inherits) so the master can
+        tell when the cut's channels have fully flushed.
+        """
+        nonlocal ckpt_token
+        if ckpt_token == token:
+            return  # already held: ignore the request
+        carry.extend(drain_in())
+        pre = [m for m in carry if getattr(m, "token", None) != token]
         ctx = engine.context
-        ctx.values.clear()
-        ctx.values.update(ft.seed_values)
-        ctx.scratch.clear()
-        ctx.scratch.update(ft.seed_scratch)
-        ctx.changed = set()
+        # dense contexts record one contiguous array instead of a
+        # per-node dict — same fast path as the final report
+        values = (("__dense__", ctx.export_state())
+                  if hasattr(ctx, "export_state") else dict(ctx.values))
+        control.put(("ckpt_state", wid, token, values,
+                     dict(ctx.scratch), list(pre),
+                     sent_base + stats["entries"],
+                     recv_base + recv_total
+                     - recv_by_token.get(token, 0)))
+        ckpt_token = token
+
+    if ft is not None and ft.seeded:
+        # rollback/respawn restart: restore state, skip PEval (it
+        # logically ran before the checkpoint), treat the snapshot's
+        # channel messages as a local carry batch.  The carry never
+        # touches the ledger: it was never on the wire this run, and
+        # crediting is drain-time, so un-announced local replay is
+        # conservation-neutral.
+        apply_snapshot_values(engine.context, ft.seed_values,
+                              ft.seed_scratch)
         rounds = 1
         carry.extend(ft.seed_messages)
-        if carry:
-            # balances the ("delivered", ...) this worker will report
-            # once it processes the seeded batch
-            control.put(("sent", wid, sum(len(m) for m in carry)))
         if report_rounds:
             control.put(("round", wid, rounds, last_round_dur, rate, 0))
     else:
@@ -550,7 +632,6 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
         if emit is not None:
             emit(obs_events.ROUND_END, rounds - 1, kind="inceval",
                  duration=last_round_dur, messages=len(result.messages))
-        control.put(("delivered", wid, sum(len(m) for m in batch)))
         ship(result.messages, rounds - 1)
         if pool is not None:
             # the engine copied what it needed (concatenate/materialise);
@@ -596,35 +677,81 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                 continue
             if kind == "probe":
                 # the paper's terminate broadcast: ack iff still inactive
-                # (both planes: queue inbox AND unparsed ring records)
+                # (both planes: queue inbox AND unparsed ring records),
+                # and nothing parked for a quarantined peer
                 empty = (inbox.empty() and not carry and not held
+                         and not any(parked.values())
                          and (pool is None or pool.drained))
                 control.put(("ack" if empty else "wait", wid))
                 continue
             if kind == "superstep":
-                fresh = recv()
-                count_recv(fresh)
-                report_late(fresh)
-                batch = carry + fresh
+                batch = carry + drain_in()
                 carry.clear()
                 observe_arrivals(batch)
                 if batch:
                     run_round(batch)
-                else:
-                    control.put(("delivered", wid, 0))
                 control.put(("step-done", wid, len(batch)))
+                continue
+            if kind == "quarantine":
+                # a peer died: take one final drain of everything already
+                # on the wire, then fence its rings.  The dead peer's
+                # held-back delayed traffic is discarded — the border
+                # re-ship at rejoin dominates those stale values under
+                # monotone aggregation (and the master's channel
+                # equalization settles their announce).
+                qw = cmd[1]
+                delayed[:] = [x for x in delayed if x[1].dst != qw]
+                while True:
+                    fresh = drain_in()
+                    if not fresh:
+                        break
+                    carry.extend(fresh)
+                if pool is not None:
+                    last = pool.quarantine_peer(qw)
+                    if last:
+                        control.put(("drained", wid,
+                                     {qw: sum(len(m) for m in last)},
+                                     incarnation))
+                        count_recv(last)
+                        report_late(last)
+                        carry.extend(last)
+                    # own every drained-but-unprocessed view of the dead
+                    # incarnation's ring bytes: the master is about to
+                    # reset that ring and the replacement will overwrite
+                    # the slab behind the views
+                    for buf in (carry, held):
+                        for i, msg in enumerate(buf):
+                            if (isinstance(msg, ShmMessageBatch)
+                                    and msg.src == qw):
+                                owned = to_owned(msg)
+                                pool.release([msg])
+                                buf[i] = owned
+                quarantined.add(qw)
+                # flush marker: FIFO-per-producer means once the master
+                # sees it, no earlier message of ours can still surface
+                # in the dead worker's inbox
+                inboxes[qw].put(("__qflush__", wid))
+                control.put(("quarantined", wid, qw))
+                continue
+            if kind == "rejoin":
+                # the replacement is up behind reset rings: rebind our
+                # endpoints, drop traffic parked during quarantine, and
+                # re-ship our full border through the normal seam
+                qw = cmd[1]
+                quarantined.discard(qw)
+                parked.pop(qw, None)
+                if pool is not None:
+                    pool.rejoin_peer(qw)
+                ship(engine.reship(qw, rounds), rounds)
                 continue
         if mode == "BSP":
             time.sleep(0.0005)
             continue
 
-        fresh = recv(wait=0.002)
-        if ft is not None:
-            count_recv(fresh)
-            report_late(fresh)
-            if carry:
-                fresh = carry + fresh
-                carry.clear()
+        fresh = drain_in(wait=0.002)
+        if carry:
+            fresh = carry + fresh
+            carry.clear()
         if not fresh and not held:
             if not inactive_reported:
                 control.put(("inactive", wid))
@@ -679,10 +806,7 @@ def _worker_loop(wid, mode, program, pg, query, inboxes, control, command,
                      reason=why.pop("reason", ""), **why)
             if ds > 0 and not math.isinf(ds):
                 time.sleep(min(ds * time_scale, 0.01))
-                accumulated = recv()
-                if ft is not None:
-                    count_recv(accumulated)
-                    report_late(accumulated)
+                accumulated = drain_in()
                 observe_arrivals(accumulated)
                 batch.extend(accumulated)
         run_round(batch)
@@ -730,7 +854,8 @@ class MultiprocessRuntime:
                  staleness_bound: Optional[int] = None,
                  hsync_policy: Optional[HsyncPolicy] = None,
                  transport: Optional[str] = None,
-                 slab_bytes: int = 1 << 20):
+                 slab_bytes: int = 1 << 20,
+                 respawn_budget: int = 0):
         if mode not in _MODES:
             raise RuntimeConfigError(
                 f"multiprocess runtime supports {_MODES}, got {mode!r}")
@@ -775,6 +900,12 @@ class MultiprocessRuntime:
         self.failures: List[FailureEvent] = []
         #: the most recent complete live checkpoint, or None
         self.last_checkpoint: Optional[GlobalSnapshot] = None
+        #: surgical-recovery rung 1: how many in-place respawns each
+        #: worker slot may spend before a death degrades to whole-run
+        #: rollback.  0 (the default) disables the rung entirely.
+        self.respawn_budget = respawn_budget
+        #: one record per successful in-place respawn of the last run
+        self.respawns: List[Dict[str, Any]] = []
         self._snapshot: Optional[GlobalSnapshot] = None
         if snapshot is not None:
             self.seed_from_snapshot(snapshot)
@@ -800,6 +931,32 @@ class MultiprocessRuntime:
             cfg.seed_messages = self._snapshot.buffered_messages(wid)
         return cfg
 
+    def _respawn_config(self, wid: int, incarnation: int,
+                        plan: Optional[FaultPlan], sent_base: int,
+                        recv_base: int) -> _FTConfig:
+        """Config for an in-place replacement of a dead worker.
+
+        Seeds the fragment from the last *complete* checkpoint when one
+        recorded this worker (the fast path); otherwise the replacement
+        re-runs PEval from scratch — correct either way under monotone
+        IncEval, because the surviving peers re-ship their full border at
+        rejoin (Theorem 2: any consistent cut restarts any subset).
+        """
+        cfg = _FTConfig(fault_plan=plan,
+                        heartbeat_interval=(self.heartbeat_interval
+                                            if self.detect_failures
+                                            else 0.0),
+                        incarnation=incarnation,
+                        sent_base=sent_base, recv_base=recv_base)
+        snap = self.last_checkpoint
+        if (snap is not None and snap.complete
+                and wid in snap.worker_states):
+            state = snap.fragment_state(wid)
+            cfg.seed_values = state.values
+            cfg.seed_scratch = state.scratch
+            cfg.seed_messages = snap.buffered_messages(wid)
+        return cfg
+
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         m = self.pg.num_fragments
@@ -818,23 +975,45 @@ class MultiprocessRuntime:
                 arena = None
         self.transport_used = "shm" if arena is not None else "queue"
         run_id = arena.run_id if arena is not None else None
+        policy_conf = {"staleness_bound": self.staleness_bound,
+                       "switch_cost": (self.hsync.switch_cost
+                                       if self.hsync is not None else 1.0)}
+        self.respawns = []
         procs = [ctx.Process(
             target=_worker_main,
             args=(wid, self.mode, self.program, self.pg, self.query,
                   inboxes, control, commands[wid], self.time_scale,
                   self.obs is not None, self._ft_config(wid),
-                  self.vectorized,
-                  {"staleness_bound": self.staleness_bound,
-                   "switch_cost": (self.hsync.switch_cost
-                                   if self.hsync is not None else 1.0)},
-                  run_id),
+                  self.vectorized, policy_conf, run_id),
             daemon=True) for wid in range(m)]
+
+        def spawn_replacement(wid: int, incarnation: int,
+                              plan: Optional[FaultPlan],
+                              sent_base: int, recv_base: int) -> None:
+            # a fresh command pipe: the dead incarnation's pipe may hold
+            # undelivered commands the replacement must never see
+            commands[wid].close()
+            commands[wid] = _CommandPipe(ctx)
+            cfg = self._respawn_config(wid, incarnation, plan,
+                                       sent_base, recv_base)
+            p = ctx.Process(
+                target=_worker_main,
+                args=(wid, self.mode, self.program, self.pg, self.query,
+                      inboxes, control, commands[wid], self.time_scale,
+                      self.obs is not None, cfg, self.vectorized,
+                      policy_conf, run_id),
+                daemon=True)
+            p.start()
+            procs[wid] = p
+
         started = time.monotonic()
         self._started = started
         for p in procs:
             p.start()
         try:
-            reports = self._master_loop(m, control, commands, procs)
+            reports = self._master_loop(m, control, commands, procs,
+                                        inboxes=inboxes, arena=arena,
+                                        spawn=spawn_replacement)
         finally:
             for cq in commands:
                 try:
@@ -875,10 +1054,23 @@ class MultiprocessRuntime:
     # ------------------------------------------------------------------
     def _master_loop(self, m: int, control: mp.Queue,
                      commands: List["_CommandPipe"],
-                     procs: Optional[List] = None
-                     ) -> Dict[int, _WorkerReport]:
+                     procs: Optional[List] = None,
+                     inboxes: Optional[List] = None,
+                     arena: Optional[SlabArena] = None,
+                     spawn=None) -> Dict[int, _WorkerReport]:
         deadline = time.monotonic() + self.timeout
-        in_flight = 0
+        # termination ledger v3: per-directed-channel conservation books.
+        # ``sent[(s, d)]`` counts logical entries announced by s for d,
+        # ``recv[(s, d)]`` entries d reported drained from s.  Channel
+        # granularity is what makes surgical recovery possible: a takeover
+        # settles exactly the dead worker's channels and leaves everyone
+        # else's accounting untouched.
+        sent: Dict[Tuple[int, int], int] = {}
+        recv: Dict[Tuple[int, int], int] = {}
+        #: current incarnation per worker slot; ledger reports from an
+        #: older incarnation arrive late and are dropped (their channels
+        #: were already equalized at takeover)
+        era = [0] * m
         inactive = [False] * m
         rounds = [1] * m
         rates = [0.0] * m
@@ -887,10 +1079,16 @@ class MultiprocessRuntime:
         acks_pending = 0
         ack_count = 0
         got_wait = False
-        stepping = self.mode == "BSP"
-        step_done = m  # PEval counts as the 0th superstep
+        #: BSP barrier membership: which workers answered the current
+        #: superstep (a set, not a counter, so a takeover can enrol the
+        #: replacement without double-counting the dead incarnation)
+        steppers = set(range(m))  # PEval counts as the 0th superstep
         step_activity = True
         step_no = 0
+        budget = [self.respawn_budget] * m
+        plan_now = self.fault_plan
+        qacks: set = set()
+        qtarget = [-1]
         detector = (FailureDetector(m, self.heartbeat_interval,
                                     self.heartbeat_timeout,
                                     now=time.monotonic())
@@ -903,6 +1101,17 @@ class MultiprocessRuntime:
         ckpt_sent: Dict[int, int] = {}
         ckpt_recv: Dict[int, int] = {}
         ckpt_amend = [0]
+
+        def in_flight() -> int:
+            total = 0
+            for chan, n in sent.items():
+                d = n - recv.get(chan, 0)
+                if d > 0:
+                    # clamped per channel: a post-takeover drain race can
+                    # over-credit one channel, which must not hide real
+                    # in-flight traffic elsewhere
+                    total += d
+            return total
 
         def broadcast(msg) -> None:
             for cq in commands:
@@ -936,6 +1145,261 @@ class MultiprocessRuntime:
                         ckpt_amend[0] += len(msg)
                     return
 
+        def handle(evt) -> str:
+            """Dispatch one control event; shared by the main loop and
+            the takeover pump so no event class is ever starved."""
+            nonlocal ack_count, got_wait, step_activity
+            kind = evt[0]
+            if kind == "sent":
+                if len(evt) > 3 and evt[3] != era[evt[1]]:
+                    return kind  # dead incarnation's backlog: settled
+                for dst, n in evt[2].items():
+                    key = (evt[1], dst)
+                    sent[key] = sent.get(key, 0) + n
+            elif kind == "drained":
+                if len(evt) > 3 and evt[3] != era[evt[1]]:
+                    return kind
+                for src, n in evt[2].items():
+                    key = (src, evt[1])
+                    recv[key] = recv.get(key, 0) + n
+            elif kind == "quarantined":
+                if evt[2] == qtarget[0]:
+                    qacks.add(evt[1])
+            elif kind == "inactive":
+                inactive[evt[1]] = True
+            elif kind == "active":
+                inactive[evt[1]] = False
+                got_wait = True
+            elif kind == "round":
+                _, wid, r, dur, rate, eta = evt
+                rounds[wid] = r
+                durations[wid] = dur
+                rates[wid] = rate
+                if self.hsync is not None:
+                    # feed the switching heuristic; only eta and the
+                    # duration matter to on_round_complete
+                    self.hsync.on_round_complete(WorkerView(
+                        wid=wid, round=r, eta=eta, rmin=min(rounds),
+                        rmax=max(rounds), idle_time=0.0,
+                        now=time.monotonic() - self._started,
+                        t_pred=dur, s_pred=rate, fleet_avg_rate=0.0,
+                        num_workers=m), dur)
+            elif kind == "heartbeat":
+                if detector is not None:
+                    detector.beat(evt[1], time.monotonic(),
+                                  evt[2] if len(evt) > 2 else 0)
+            elif kind == "ckpt_state":
+                _, wid, token, values, scratch, pre, sent_n, recv_n = evt
+                if (ckpt is not None and ckpt.current is not None
+                        and ckpt.current.token == token):
+                    ckpt.current.record_state(wid, values, scratch, pre)
+                    ckpt_sent[wid] = sent_n
+                    # the recorded buffer contents count as received
+                    ckpt_recv[wid] = recv_n
+            elif kind == "ckpt_late":
+                if ckpt is not None:
+                    accept_late(evt[1], evt[2], evt[3])
+            elif kind == "ack":
+                ack_count += 1
+            elif kind == "wait":
+                got_wait = True
+                ack_count += 1
+            elif kind == "error":
+                detail = f"worker {evt[1]} crashed: {evt[2]}"
+                if len(evt) > 3 and evt[3]:
+                    detail += ("\n--- worker traceback ---\n"
+                               + str(evt[3]).rstrip())
+                raise TerminationError(detail)
+            elif kind == "step-done":
+                steppers.add(evt[1])
+                if evt[2] > 0:
+                    step_activity = True
+            elif kind == "done":
+                reports[evt[1]] = evt[2]
+            return kind
+
+        def pump(timeout_s: float, until) -> bool:
+            """Drain control events until ``until()`` holds (True) or the
+            takeover-step timeout expires (False)."""
+            end = time.monotonic() + timeout_s
+            while not until():
+                if time.monotonic() > deadline:
+                    raise TerminationError(
+                        f"multiprocess run exceeded {self.timeout}s "
+                        f"(mode={self.mode}, during takeover)")
+                if time.monotonic() > end:
+                    return False
+                try:
+                    evt = control.get(timeout=0.005)
+                except queue_mod.Empty:
+                    continue
+                handle(evt)
+            return True
+
+        def try_takeover(s) -> bool:
+            """Degradation-ladder rung 1: in-place respawn with fragment
+            takeover.  Returns True when the replacement is running and
+            rejoined; False hands the failure to the next rung (whole-run
+            rollback via WorkerCrashedError)."""
+            nonlocal acks_pending, ack_count, got_wait, plan_now
+            w = s.wid
+            t0 = time.monotonic()
+            t = t0 - self._started
+
+            def degrade(reason: str) -> bool:
+                self._emit_master(obs_events.DEGRADE, wid=w,
+                                  frm="respawn", to="rollback",
+                                  reason=reason)
+                return False
+
+            if spawn is None or inboxes is None:
+                return False  # respawn machinery not plumbed in
+            if budget[w] <= 0:
+                if self.respawn_budget > 0:
+                    return degrade("respawn budget exhausted")
+                return False  # rung disabled: no DEGRADE noise
+            if not getattr(self.program, "reship_capable", True):
+                return degrade("program aggregation is not idempotent")
+            if m == 1:
+                return degrade("no surviving peers to re-ship from")
+            # 1. make sure the dead incarnation is really gone: its slab
+            # cursors and queue feeder must never touch the wire again
+            if procs is not None:
+                p = procs[w]
+                if p.is_alive():
+                    p.terminate()
+                    p.join(1.0)
+                    if p.is_alive() and hasattr(p, "kill"):
+                        p.kill()
+                        p.join(1.0)
+                    if p.is_alive():  # pragma: no cover - defensive
+                        return degrade("old incarnation would not die")
+            # 2. quarantine: survivors take a final drain of everything
+            # the dead worker got onto the wire, fence its rings, and
+            # mark their queue lane with a flush sentinel.  Only *live*
+            # peers owe an acknowledgement — and one may die mid-pump
+            # (its own scheduled crash, a cascading fault): it can never
+            # ack, so stop waiting for it rather than timing the whole
+            # takeover out.  Its own takeover runs next, as soon as the
+            # failure detector notices; channel bookkeeping stays sound
+            # because step 5 equalizes the dead pair's channels again.
+            peers = [d for d in range(m) if d != w]
+            qacks.clear()
+            qtarget[0] = w
+            live = {d for d in peers
+                    if procs is None or procs[d].is_alive()}
+            for d in live:
+                commands[d].put(("quarantine", w))
+
+            def acked_or_dead() -> bool:
+                if procs is not None:
+                    for d in list(live - qacks):
+                        if not procs[d].is_alive():
+                            live.discard(d)
+                return live <= qacks
+
+            ok = pump(5.0, acked_or_dead)
+            qtarget[0] = -1
+            if not ok:
+                return degrade("quarantine acknowledgement timed out "
+                               f"(missing {sorted(live - qacks)})")
+            # 3. reconcile the queue plane: drain the dead inbox until
+            # every live survivor's sentinel arrived (mp.Queue is FIFO
+            # per producer, so the sentinel proves no earlier message
+            # from that survivor can surface later), crediting the books
+            # for every data message the dead worker never drained.  A
+            # survivor that dies after acking is dropped here too — its
+            # feeder thread died with it, so its lane can produce
+            # nothing further and the sentinel may simply never arrive.
+            pending = set(live)
+            end = time.monotonic() + 5.0
+            while pending and time.monotonic() < end:
+                if procs is not None:
+                    for d in list(pending):
+                        if not procs[d].is_alive():
+                            pending.discard(d)
+                try:
+                    msg = inboxes[w].get(timeout=0.01)
+                except queue_mod.Empty:
+                    continue
+                if (isinstance(msg, tuple) and len(msg) == 2
+                        and msg[0] == "__qflush__"):
+                    pending.discard(msg[1])
+                else:
+                    key = (msg.src, w)
+                    recv[key] = recv.get(key, 0) + len(msg)
+            if pending:
+                return degrade("queue-plane flush timed out")
+            # 4. retire the dead incarnation's rings: the generation bump
+            # makes any torn or stale endpoint state unreadable
+            if arena is not None:
+                arena.reset_worker(w)
+            # 5. equalize the ledger.  Outbound (w, d): lower sent to
+            # what was actually drained — announced-but-lost traffic died
+            # with the worker.  Inbound (d, w): raise recv to sent — the
+            # survivors' announced traffic was drained above, discarded
+            # with the rings, or forgone with the delayed queue; either
+            # way it is off the wire.  The post-equalize sums seed the
+            # replacement's cumulative checkpoint counters so epoch
+            # conservation still balances across incarnations.
+            for d in peers:
+                recv[(d, w)] = sent.get((d, w), 0)
+                sent[(w, d)] = recv.get((w, d), 0)
+            sent_base = sum(sent.get((w, d), 0) for d in peers)
+            recv_base = sum(recv.get((d, w), 0) for d in peers)
+            # 6. an open checkpoint epoch can never complete (the dead
+            # worker will never record); abort it, keep the last one
+            if ckpt is not None:
+                ckpt.abort_current(time.monotonic())
+                ckpt_sent.clear()
+                ckpt_recv.clear()
+                ckpt_amend[0] = 0
+            # 7. respawn: disarm only the crash that fired, bump the
+            # incarnation, seed from the last complete checkpoint
+            budget[w] -= 1
+            if plan_now is not None:
+                plan_now = plan_now.without_crash(w)
+            incarnation = (detector.respawn(w, time.monotonic())
+                           if detector is not None else era[w] + 1)
+            era[w] = incarnation
+            snap = self.last_checkpoint
+            seeded = (snap is not None and snap.complete
+                      and w in snap.worker_states)
+            spawn(w, incarnation, plan_now, sent_base, recv_base)
+            # 8. master bookkeeping: the replacement starts fresh
+            inactive[w] = False
+            rounds[w] = 1
+            durations[w] = 1e-3
+            rates[w] = 0.0
+            steppers.add(w)  # BSP: it joins at the next barrier
+            acks_pending = 0
+            ack_count = 0
+            got_wait = False
+            # 9. rejoin: live survivors rebind the reset rings and
+            # re-ship their full border through the normal transport
+            # seam — everything the replacement's checkpoint state (or
+            # fresh PEval) cannot re-derive on its own.  A peer that
+            # died mid-takeover re-ships nothing here; when its own
+            # takeover runs, both replacements restart from the same
+            # consistent cut (or both from PEval, whose output is the
+            # full border), which is exactly the Theorem 2 condition.
+            for d in live:
+                commands[d].put(("rejoin", w))
+            duration = time.monotonic() - t0
+            self.respawns.append({
+                "wid": w, "incarnation": incarnation, "seeded": seeded,
+                "token": snap.token if seeded else None, "takeover": True,
+                "t": t, "duration": duration, "budget_left": budget[w]})
+            self._emit_master(obs_events.WORKER_RESPAWN, wid=w,
+                              incarnation=incarnation, seeded=seeded,
+                              token=snap.token if seeded else None,
+                              budget_left=budget[w])
+            self._emit_master(obs_events.FRAGMENT_TAKEOVER, wid=w,
+                              incarnation=incarnation,
+                              reshipped=len(live),
+                              duration=duration)
+            return True
+
         def ft_check() -> None:
             nonlocal last_ft_check
             now = time.monotonic()
@@ -953,9 +1417,13 @@ class MultiprocessRuntime:
                 # the cut is usable once every pre-record message is on
                 # the receive side (in a recorded buffer, a reported
                 # late amendment, or a processed round) — the master's
-                # raw in_flight counter would rarely be zero mid-run
-                residual = (abs(sum(ckpt_sent.values())
-                                - sum(ckpt_recv.values()) - ckpt_amend[0])
+                # raw in_flight counter would rarely be zero mid-run.
+                # Clamped at zero: a post-takeover drain race can only
+                # over-credit the receive side, and a genuinely late
+                # message still lands in the snapshot via ckpt_late.
+                residual = (max(sum(ckpt_sent.values())
+                                - sum(ckpt_recv.values()) - ckpt_amend[0],
+                                0)
                             if len(ckpt_sent) == m else 1)
                 snap = ckpt.maybe_complete(now, residual)
                 if snap is not None:
@@ -978,10 +1446,21 @@ class MultiprocessRuntime:
                     continue
                 self._emit_master(obs_events.FAILURE_DETECTED, wid=s.wid,
                                   reason=s.kind, age=s.age)
-                raise WorkerCrashedError(
-                    wid=s.wid, reason=s.kind, detected_at=t,
-                    checkpoint=ckpt.last if ckpt is not None else None,
-                    failures=self.failures, detection_latency=s.age)
+                # degradation ladder, rung 1: try an in-place respawn
+                # with fragment takeover before surfacing the crash
+                if not try_takeover(s):
+                    raise WorkerCrashedError(
+                        wid=s.wid, reason=s.kind, detected_at=t,
+                        checkpoint=ckpt.last if ckpt is not None else None,
+                        failures=self.failures, detection_latency=s.age)
+
+        def start_superstep() -> None:
+            nonlocal step_activity, step_no
+            steppers.clear()
+            step_activity = False
+            step_no += 1
+            self._emit_master(obs_events.BARRIER, step=step_no)
+            broadcast(("superstep",))
 
         def broadcast_fleet() -> None:
             live_rates = [r for r in rates if r > 0]
@@ -1020,65 +1499,9 @@ class MultiprocessRuntime:
             except queue_mod.Empty:
                 evt = None
             if evt is not None:
-                kind = evt[0]
-                if kind == "sent":
-                    in_flight += evt[2]
-                elif kind == "delivered":
-                    in_flight -= evt[2]
-                elif kind == "inactive":
-                    inactive[evt[1]] = True
-                elif kind == "active":
-                    inactive[evt[1]] = False
-                    got_wait = True
-                elif kind == "round":
-                    _, wid, r, dur, rate, eta = evt
-                    rounds[wid] = r
-                    durations[wid] = dur
-                    rates[wid] = rate
-                    if self.hsync is not None:
-                        # feed the switching heuristic; only eta and the
-                        # duration matter to on_round_complete
-                        self.hsync.on_round_complete(WorkerView(
-                            wid=wid, round=r, eta=eta, rmin=min(rounds),
-                            rmax=max(rounds), idle_time=0.0,
-                            now=time.monotonic() - self._started,
-                            t_pred=dur, s_pred=rate, fleet_avg_rate=0.0,
-                            num_workers=m), dur)
-                elif kind == "heartbeat":
-                    if detector is not None:
-                        detector.beat(evt[1], time.monotonic())
-                elif kind == "ckpt_state":
-                    _, wid, token, values, scratch, pre, sent_n, recv_n \
-                        = evt
-                    if (ckpt is not None and ckpt.current is not None
-                            and ckpt.current.token == token):
-                        ckpt.current.record_state(wid, values, scratch,
-                                                  pre)
-                        ckpt_sent[wid] = sent_n
-                        # the recorded buffer contents count as received
-                        ckpt_recv[wid] = recv_n
-                elif kind == "ckpt_late":
-                    if ckpt is not None:
-                        accept_late(evt[1], evt[2], evt[3])
-                elif kind == "ack":
-                    ack_count += 1
-                elif kind == "wait":
-                    got_wait = True
-                    ack_count += 1
-                elif kind == "error":
-                    detail = f"worker {evt[1]} crashed: {evt[2]}"
-                    if len(evt) > 3 and evt[3]:
-                        detail += ("\n--- worker traceback ---\n"
-                                   + str(evt[3]).rstrip())
-                    raise TerminationError(detail)
-                elif kind == "step-done":
-                    step_done += 1
-                    if evt[2] > 0:
-                        step_activity = True
-                elif kind == "done":
-                    reports[evt[1]] = evt[2]
-                    if len(reports) == m:
-                        return reports
+                kind = handle(evt)
+                if kind == "done" and len(reports) == m:
+                    return reports
                 if kind not in ("heartbeat", "ckpt_state", "ckpt_late"):
                     # keep draining control before deciding anything --
                     # but pure fault-tolerance telemetry must fall
@@ -1088,19 +1511,29 @@ class MultiprocessRuntime:
                     continue
 
             if self.mode == "BSP":
-                if step_done == m:
-                    if not step_activity and in_flight == 0:
-                        self._emit_master(obs_events.TERMINATE_PROBE,
-                                          result="ack")
-                        broadcast(("stop",))
-                        return collect_reports()
-                    # messages may still be in OS pipes (in_flight > 0);
-                    # the next superstep will pick them up
-                    step_done = 0
-                    step_activity = False
-                    step_no += 1
-                    self._emit_master(obs_events.BARRIER, step=step_no)
-                    broadcast(("superstep",))
+                if acks_pending:
+                    if ack_count == acks_pending:
+                        acks_pending = 0
+                        self._emit_master(
+                            obs_events.TERMINATE_PROBE,
+                            result="ack" if not got_wait else "wait")
+                        if not got_wait and in_flight() == 0:
+                            broadcast(("stop",))
+                            return collect_reports()
+                        start_superstep()
+                elif len(steppers) == m:
+                    if not step_activity and in_flight() == 0:
+                        # a quiet barrier is necessary but no longer
+                        # sufficient: drain-time crediting means a
+                        # checkpoint drain may have parked messages in a
+                        # worker's carry after it answered an empty
+                        # superstep — probe before stopping
+                        ack_count = 0
+                        got_wait = False
+                        acks_pending = m
+                        broadcast(("probe",))
+                    else:
+                        start_superstep()
                 continue
 
             # async modes that consult fleet state get periodic broadcasts
@@ -1115,12 +1548,13 @@ class MultiprocessRuntime:
                     self._emit_master(
                         obs_events.TERMINATE_PROBE,
                         result="ack" if not got_wait else "wait")
-                    if not got_wait and in_flight == 0 and all(inactive):
+                    if not got_wait and in_flight() == 0 \
+                            and all(inactive):
                         broadcast(("stop",))
                         return collect_reports()
                 continue
 
-            if all(inactive) and in_flight == 0:
+            if all(inactive) and in_flight() == 0:
                 # the paper's terminate broadcast: probe every worker
                 ack_count = 0
                 got_wait = False
@@ -1153,6 +1587,8 @@ class MultiprocessRuntime:
             "shm_bytes": sum(r.shm_bytes for r in reports.values()),
             "queue_fallbacks": sum(r.shm_fallbacks
                                    for r in reports.values())}}
+        if self.respawns:
+            extras["respawns"] = [dict(r) for r in self.respawns]
         if self.obs is not None:
             self._merge_observations(reports)
             registry_from_workers(workers, into=self.obs.metrics)

@@ -1,43 +1,70 @@
-"""Online recovery: rollback to the last checkpoint and retry (Section 6).
+"""Graceful-degradation ladder for worker failures (Section 6).
 
 The paper's Theorem 2 guarantees that for monotone PIE programs any
 consistent Chandy-Lamport cut is a valid restart point: re-running from the
-snapshot reaches the same fixpoint as the uninterrupted run.
-:func:`run_with_recovery` turns that guarantee into a supervisor loop — it
-builds a fresh runtime per attempt (via a caller-supplied factory), seeds it
-from the last complete checkpoint when one exists, and retries detected
-worker failures with bounded exponential backoff.  When the budget is
-exhausted it raises a structured :class:`~repro.errors.WorkerFailureError`
-carrying the accumulated failure log and the last checkpoint, instead of
-hanging or losing the evidence.
+snapshot reaches the same fixpoint as the uninterrupted run.  Recovery is
+organised as a three-rung ladder, each rung strictly cheaper than the next:
+
+1. **In-place respawn** (rung 1, inside the runtimes): the master
+   quarantines the dead worker, respawns a replacement in place, re-seeds
+   its fragment from the last checkpoint and has peers re-ship their
+   border values.  Survivors never stop in AP/AAP/SSP and pause only at
+   the next barrier in BSP.  Enabled per-runtime with ``respawn_budget``.
+2. **Whole-run rollback** (rung 2, :func:`run_with_recovery`): when the
+   respawn budget is exhausted — or the runtime cannot take the fragment
+   over — the supervisor builds a fresh runtime seeded from the last
+   complete checkpoint and retries with bounded, optionally jittered
+   exponential backoff.
+3. **Structured failure** (rung 3): once the retry budget or wall-clock
+   deadline is spent, a :class:`~repro.errors.WorkerFailureError` carrying
+   the accumulated failure log and the last checkpoint is raised, instead
+   of hanging or losing the evidence.
+
+Each downward transition emits a :data:`~repro.obs.events.DEGRADE` event.
 
 :func:`run_chaos` is the one-call harness behind ``repro chaos``: it runs a
-program under a :class:`~repro.runtime.faultplan.FaultPlan` with recovery
-enabled and reports detection latency, recovery count and answer
-correctness against a fault-free reference run.
+program under a :class:`~repro.runtime.faultplan.FaultPlan` with the full
+ladder enabled and reports detection latency, respawn/recovery counts, the
+deepest rung reached and answer correctness against a fault-free reference
+run (within a per-workload numeric tolerance).
 """
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import RuntimeConfigError, WorkerCrashedError, \
     WorkerFailureError
 from repro.obs import events as obs_events
 from repro.runtime.detection import FailureEvent
+from repro.runtime.faultplan import _mix
 from repro.runtime.snapshot import GlobalSnapshot
 
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded exponential backoff for failure recovery."""
+    """Bounded exponential backoff for failure recovery.
+
+    ``deadline`` caps the *total* wall-clock budget of the supervisor loop:
+    a retry whose backoff would overrun it degrades straight to rung 3.
+    ``jitter`` spreads retry storms: each delay is scaled by a factor drawn
+    deterministically from ``[1 - jitter, 1 + jitter)`` keyed on
+    ``(seed, attempt)``, so the same policy replays the same schedule.
+    """
 
     max_retries: int = 2
     backoff: float = 0.05
     factor: float = 2.0
     max_backoff: float = 1.0
+    #: total wall-clock budget in seconds (None = unbounded)
+    deadline: Optional[float] = None
+    #: relative jitter amplitude in [0, 1]; 0 disables jitter
+    jitter: float = 0.0
+    #: seed for the deterministic jitter stream
+    seed: int = 0
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -46,44 +73,82 @@ class RetryPolicy:
         if self.backoff < 0 or self.max_backoff < 0 or self.factor < 1.0:
             raise RuntimeConfigError(
                 f"invalid backoff parameters: {self!r}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise RuntimeConfigError(
+                f"deadline must be positive, got {self.deadline!r}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise RuntimeConfigError(
+                f"jitter must be in [0, 1], got {self.jitter!r}")
 
     def delay(self, attempt: int) -> float:
         """Seconds to wait before retry ``attempt`` (1-based)."""
-        return min(self.backoff * self.factor ** max(attempt - 1, 0),
+        base = min(self.backoff * self.factor ** max(attempt - 1, 0),
                    self.max_backoff)
+        if self.jitter <= 0.0 or base <= 0.0:
+            return base
+        u = _mix(self.seed, 0x5E71, attempt)
+        return max(base * (1.0 + self.jitter * (2.0 * u - 1.0)), 0.0)
 
 
-def run_with_recovery(runtime_factory: Callable[
-                          [Optional[GlobalSnapshot], int], Any],
+def _accepts_crash(factory: Callable) -> bool:
+    """Whether ``factory`` takes the optional third ``crash`` argument."""
+    try:
+        sig = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return False
+    if any(p.kind == p.VAR_POSITIONAL for p in sig.parameters.values()):
+        return True
+    positional = [p for p in sig.parameters.values()
+                  if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)]
+    return len(positional) >= 3
+
+
+def run_with_recovery(runtime_factory: Callable[..., Any],
                       retry: Optional[RetryPolicy] = None,
                       observer: Optional[Any] = None,
-                      sleep: Callable[[float], None] = time.sleep):
+                      sleep: Callable[[float], None] = time.sleep,
+                      clock: Callable[[], float] = time.monotonic):
     """Run a live runtime, rolling back to checkpoints on worker failure.
 
     ``runtime_factory(snapshot, attempt)`` must return a *fresh* runtime,
     already seeded from ``snapshot`` when it is not ``None`` (attempt 0
-    always receives ``None``).  The factory owns the policy decisions a
-    restart needs — in particular, building attempt > 0 with
-    ``plan.without_crashes()`` so a deterministic crash fault does not
-    simply re-fire (that is what
-    :func:`~repro.runtime.faultplan.FaultPlan.without_crashes` is for).
+    always receives ``None``).  A factory may declare an optional third
+    parameter to additionally receive the :class:`WorkerCrashedError` that
+    ended the previous attempt (``None`` on attempt 0) — that is how a
+    supervisor disarms exactly the crash fault that fired, via
+    :meth:`~repro.runtime.faultplan.FaultPlan.without_crash`, while leaving
+    the rest of the chaos script armed.
+
+    The retry loop stops — raising :class:`WorkerFailureError` (with the
+    accumulated in-place respawn log attached as ``.respawns``) — when
+    either ``retry.max_retries`` restarts have failed or the next backoff
+    would overrun ``retry.deadline`` seconds of total wall-clock time.
 
     Returns the successful :class:`~repro.core.result.RunResult`, with
-    ``extras["recovery"]`` summarising attempts/recoveries/failures.
-    Raises :class:`WorkerFailureError` once ``retry.max_retries`` restarts
-    have failed.
+    ``extras["recovery"]`` summarising attempts / recoveries / in-place
+    respawns / failures and the deepest ladder rung reached (0 = clean,
+    1 = respawn only, 2 = rollback).
     """
     retry = retry or RetryPolicy()
+    pass_crash = _accepts_crash(runtime_factory)
     snapshot: Optional[GlobalSnapshot] = None
     failures: List[FailureEvent] = []
     crashes: List[Dict[str, Any]] = []
+    respawn_log: List[Dict[str, Any]] = []
     recoveries = 0
     attempt = 0
+    last_crash: Optional[WorkerCrashedError] = None
+    start = clock()
     while True:
-        runtime = runtime_factory(snapshot, attempt)
+        if pass_crash:
+            runtime = runtime_factory(snapshot, attempt, last_crash)
+        else:
+            runtime = runtime_factory(snapshot, attempt)
         try:
             result = runtime.run()
         except WorkerCrashedError as crash:
+            respawn_log.extend(
+                dict(r) for r in getattr(runtime, "respawns", None) or [])
             failures.extend(crash.failures or [FailureEvent(
                 t=crash.detected_at, kind=crash.reason, wid=crash.wid)])
             crashes.append({"wid": crash.wid, "reason": crash.reason,
@@ -91,13 +156,26 @@ def run_with_recovery(runtime_factory: Callable[
                             "detection_latency": crash.detection_latency})
             if crash.checkpoint is not None:
                 snapshot = crash.checkpoint
-            if attempt >= retry.max_retries:
-                raise WorkerFailureError(
+            last_crash = crash
+            backoff = retry.delay(attempt + 1)
+            out_of_retries = attempt >= retry.max_retries
+            out_of_time = (retry.deadline is not None
+                           and (clock() - start) + backoff > retry.deadline)
+            if out_of_retries or out_of_time:
+                reason = ("retry budget exhausted" if out_of_retries else
+                          f"deadline {retry.deadline}s would be exceeded")
+                if observer is not None:
+                    observer.log.emit(
+                        obs_events.DEGRADE, crash.detected_at,
+                        wid=crash.wid, frm="rollback", to="fail",
+                        reason=reason)
+                err = WorkerFailureError(
                     wid=crash.wid, failures=failures, checkpoint=snapshot,
-                    attempts=attempt + 1) from crash
+                    attempts=attempt + 1)
+                err.respawns = respawn_log
+                raise err from crash
             attempt += 1
             recoveries += 1
-            backoff = retry.delay(attempt)
             if observer is not None:
                 observer.log.emit(
                     obs_events.ROLLBACK, crash.detected_at,
@@ -109,12 +187,16 @@ def run_with_recovery(runtime_factory: Callable[
             if backoff > 0:
                 sleep(backoff)
             continue
+        respawn_log.extend(
+            dict(r) for r in getattr(runtime, "respawns", None) or [])
         result.extras["recovery"] = {
             "attempts": attempt + 1,
             "recoveries": recoveries,
+            "respawns": respawn_log,
             "failures": list(failures),
             "crashes": list(crashes),
             "resumed_from_checkpoint": snapshot is not None,
+            "rung": 2 if recoveries else (1 if respawn_log else 0),
         }
         return result
 
@@ -122,7 +204,7 @@ def run_with_recovery(runtime_factory: Callable[
 def _build_runtime(kind: str, engine_or_none, *, program, pg, query, policy,
                    mode: str, snapshot, fault_plan, checkpoint_interval,
                    heartbeat_interval, heartbeat_timeout, timeout,
-                   observer):
+                   observer, respawn_budget: int = 0):
     """Construct one live-runtime attempt (lazy imports avoid cycles)."""
     if kind == "threaded":
         from repro.core.engine import Engine
@@ -132,7 +214,8 @@ def _build_runtime(kind: str, engine_or_none, *, program, pg, query, policy,
             engine, policy, timeout=timeout, observer=observer,
             fault_plan=fault_plan, checkpoint_interval=checkpoint_interval,
             heartbeat_interval=heartbeat_interval,
-            heartbeat_timeout=heartbeat_timeout)
+            heartbeat_timeout=heartbeat_timeout,
+            respawn_budget=respawn_budget)
         if snapshot is not None:
             rt.seed_from_snapshot(snapshot)
         return rt
@@ -143,8 +226,57 @@ def _build_runtime(kind: str, engine_or_none, *, program, pg, query, policy,
             observer=observer, fault_plan=fault_plan,
             checkpoint_interval=checkpoint_interval,
             heartbeat_interval=heartbeat_interval,
-            heartbeat_timeout=heartbeat_timeout, snapshot=snapshot)
+            heartbeat_timeout=heartbeat_timeout, snapshot=snapshot,
+            respawn_budget=respawn_budget)
     raise RuntimeConfigError(f"unknown chaos runtime {kind!r}")
+
+
+def infer_tolerance(program, pg, query) -> float:
+    """Numeric tolerance for comparing two runs of ``program``.
+
+    Non-accumulative aggregators (min/max) are idempotent, so any two
+    fixpoints agree exactly: tolerance 0.  Accumulative programs stop
+    shipping per-node deltas below ``eps_node = epsilon / n``, leaving up
+    to ``eps_node`` unpropagated at each in-neighbour of a node; two runs
+    can therefore differ by ``2 * eps_node * (1 + max_indeg)`` — the same
+    bound :mod:`repro.bench.kernels` uses for its fast-path comparison.
+    """
+    aggregator = getattr(program, "aggregator", None)
+    if not getattr(aggregator, "accumulative", False):
+        return 0.0
+    epsilon = float(getattr(query, "epsilon", 0.0) or 0.0)
+    n = max(len(pg.owner), 1)
+    indeg: Dict[Any, int] = {}
+    for frag in pg.fragments:
+        g = frag.graph
+        for v in g.nodes:
+            indeg[v] = indeg.get(v, 0) + g.in_degree(v)
+    max_indeg = max(indeg.values(), default=0)
+    tol = 2.0 * (epsilon / n) * (1 + max_indeg)
+    return tol if tol > 0.0 else 1e-9
+
+
+def answers_within(reference: Dict[Any, Any], answer: Dict[Any, Any],
+                   tolerance: float) -> Tuple[bool, float]:
+    """Compare assembled answers; returns (ok, max observed diff).
+
+    ``tolerance == 0`` means exact equality.  Equal values (including
+    ``inf == inf`` and non-numeric payloads) always match; unequal
+    non-numeric values never do.
+    """
+    if set(reference) != set(answer):
+        return False, float("inf")
+    worst = 0.0
+    for k, rv in reference.items():
+        av = answer[k]
+        if rv == av:
+            continue
+        try:
+            diff = abs(rv - av)
+        except TypeError:
+            return False, float("inf")
+        worst = max(worst, diff)
+    return worst <= tolerance, worst
 
 
 def run_chaos(program, pg, query, fault_plan, *, runtime: str = "threaded",
@@ -153,14 +285,23 @@ def run_chaos(program, pg, query, fault_plan, *, runtime: str = "threaded",
               heartbeat_interval: float = 0.02,
               heartbeat_timeout: float = 1.0, timeout: float = 60.0,
               retry: Optional[RetryPolicy] = None,
+              respawn_budget: int = 0,
+              tolerance: Optional[float] = None,
               observer: Optional[Any] = None,
               reference: Optional[Dict] = None) -> Dict[str, Any]:
-    """Run ``program`` under ``fault_plan`` with detection + recovery.
+    """Run ``program`` under ``fault_plan`` with the full recovery ladder.
 
-    Returns a report dict: the answer, whether it matches a fault-free
-    reference run (computed with the simulator unless ``reference`` is
-    given), recovery/attempt counts, detection latencies and the injected
-    fault log.  This is the engine behind the ``repro chaos`` CLI.
+    ``respawn_budget`` arms rung 1 (per-worker in-place respawns inside
+    the runtime); rung 2 rollbacks and the rung 3 structured failure are
+    always armed via ``retry``.  ``tolerance`` bounds the answer
+    comparison against the fault-free reference; ``None`` infers it from
+    the workload (exact for idempotent aggregators, the bench bound for
+    accumulative ones — see :func:`infer_tolerance`).
+
+    Returns a report dict: the answer-match verdict, attempt / recovery /
+    respawn / takeover counts, the deepest ladder rung reached, detection
+    latencies and the injected fault log.  This is the engine behind the
+    ``repro chaos`` CLI.
     """
     from repro.core.delay import AAPPolicy, APPolicy, BSPPolicy
 
@@ -172,21 +313,30 @@ def run_chaos(program, pg, query, fault_plan, *, runtime: str = "threaded",
         return AAPPolicy()
 
     make_policy = policy_factory or default_policy
+    if tolerance is None:
+        tolerance = infer_tolerance(program, pg, query)
     if reference is None:
         from repro.core.engine import Engine
         from repro.runtime.simulator import SimulatedRuntime
         ref_engine = Engine(program, pg, query)
         reference = SimulatedRuntime(ref_engine, make_policy()).run().answer
 
-    def factory(snapshot, attempt):
-        plan = fault_plan if attempt == 0 else fault_plan.without_crashes()
+    # surgical re-arm: each rollback disarms only the crash that actually
+    # fired (the earliest scheduled one for that worker), so later crashes
+    # in a multi-crash script still play out across restart attempts
+    plan_state = {"plan": fault_plan}
+
+    def factory(snapshot, attempt, crash=None):
+        if crash is not None:
+            plan_state["plan"] = plan_state["plan"].without_crash(crash.wid)
         return _build_runtime(
             runtime, None, program=program, pg=pg, query=query,
             policy=make_policy(), mode=mode, snapshot=snapshot,
-            fault_plan=plan, checkpoint_interval=checkpoint_interval,
+            fault_plan=plan_state["plan"],
+            checkpoint_interval=checkpoint_interval,
             heartbeat_interval=heartbeat_interval,
             heartbeat_timeout=heartbeat_timeout, timeout=timeout,
-            observer=observer)
+            observer=observer, respawn_budget=respawn_budget)
 
     start = time.monotonic()
     failed: Optional[WorkerFailureError] = None
@@ -196,10 +346,14 @@ def run_chaos(program, pg, query, fault_plan, *, runtime: str = "threaded",
         failed = exc
     elapsed = time.monotonic() - start
     if failed is not None:
+        respawn_log = getattr(failed, "respawns", [])
         return {
             "ok": False,
             "error": str(failed),
             "attempts": failed.attempts,
+            "respawns": len(respawn_log),
+            "takeovers": sum(1 for r in respawn_log if r.get("takeover")),
+            "rung": 3,
             "failures": [
                 {"t": f.t, "kind": f.kind, "wid": f.wid, "detail": f.detail}
                 for f in failed.failures],
@@ -209,11 +363,19 @@ def run_chaos(program, pg, query, fault_plan, *, runtime: str = "threaded",
         }
     rec = result.extras.get("recovery", {})
     fail_log = rec.get("failures", [])
+    respawn_log = rec.get("respawns", [])
+    matches, max_diff = answers_within(reference, result.answer, tolerance)
     return {
         "ok": True,
-        "answer_matches_reference": result.answer == reference,
+        "answer_matches_reference": matches,
+        "max_diff": max_diff,
+        "tolerance": tolerance,
         "attempts": rec.get("attempts", 1),
         "recoveries": rec.get("recoveries", 0),
+        "respawns": len(respawn_log),
+        "takeovers": sum(1 for r in respawn_log if r.get("takeover")),
+        "respawn_log": [dict(r) for r in respawn_log],
+        "rung": rec.get("rung", 0),
         "resumed_from_checkpoint": rec.get("resumed_from_checkpoint",
                                            False),
         "detection_latencies": [

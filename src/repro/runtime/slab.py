@@ -16,7 +16,8 @@ Slab layout (one slab per directed channel ``src -> dst``)::
 
     [ 64-byte slab header | capacity bytes of ring data ]
 
-    slab header (8 x u64):  MAGIC  capacity  head  tail  (rest reserved)
+    slab header (8 x u64):  MAGIC  capacity  head  tail  generation  (rest
+    reserved)
 
 ``head`` is the producer's cumulative append offset, ``tail`` the
 consumer's cumulative release offset; both only ever grow, so the live
@@ -82,7 +83,7 @@ except ImportError:  # pragma: no cover - ancient pythons only
 HEADER_BYTES = 64
 ALIGN = 64
 #: slab-header field indices (u64 words)
-_MAGIC, _CAP, _HEAD, _TAIL = 0, 1, 2, 3
+_MAGIC, _CAP, _HEAD, _TAIL, _GEN = 0, 1, 2, 3, 4
 SLAB_MAGIC = 0x5245_5052_4F53_4C41  # "REPROSLA"
 #: record kinds
 REC_DATA = 0x5245C0DA
@@ -168,6 +169,21 @@ class ShmMessageBatch(MessageBatch):
                  self.entry_bytes))
 
 
+def to_owned(msg: Any) -> Any:
+    """Materialise a slab-backed batch into an owned plain batch.
+
+    A :class:`ShmMessageBatch` held across a ring reset (takeover) would
+    dangle into bytes the replacement producer overwrites; callers that
+    must keep a drained batch past the reset copy it out first.  Anything
+    that is not a slab view passes through untouched.
+    """
+    if isinstance(msg, ShmMessageBatch):
+        return _rebuild_plain(msg.src, msg.dst, msg.round,
+                              np.array(msg.ids), np.array(msg.payloads),
+                              msg.seq, msg.token, msg.entry_bytes)
+    return msg
+
+
 def _roundup(n: int, align: int = ALIGN) -> int:
     return (n + align - 1) // align * align
 
@@ -210,6 +226,7 @@ class SlabRing:
             self._ctrl[_CAP] = capacity
             self._ctrl[_HEAD] = 0
             self._ctrl[_TAIL] = 0
+            self._ctrl[_GEN] = 0
             self._ctrl[_MAGIC] = SLAB_MAGIC  # last: marks the slab usable
         elif int(self._ctrl[_MAGIC]) != SLAB_MAGIC:
             raise TransportError(
@@ -221,6 +238,11 @@ class SlabRing:
         self._read_seq = 0
         #: producer-side record counter
         self._write_seq = 0
+        #: the ring incarnation this endpoint is bound to; a master-side
+        #: :meth:`reset` bumps the header word, and both endpoints refuse
+        #: to touch a ring whose live generation no longer matches until
+        #: they :meth:`rebind`
+        self._gen = int(self._ctrl[_GEN])
 
     # -- shared ---------------------------------------------------------
     @property
@@ -230,6 +252,45 @@ class SlabRing:
     @property
     def tail(self) -> int:
         return int(self._ctrl[_TAIL])
+
+    @property
+    def generation(self) -> int:
+        """The ring's live incarnation number (bumped by :meth:`reset`)."""
+        return int(self._ctrl[_GEN])
+
+    @property
+    def stale(self) -> bool:
+        """True when the ring was reset since this endpoint last bound."""
+        return self._gen != self.generation
+
+    def reset(self) -> int:
+        """Wipe the ring for a fresh incarnation (master-side takeover).
+
+        Rewinds ``head``/``tail`` to zero and bumps the generation word so
+        any endpoint still holding pre-reset cursors sees :attr:`stale`
+        instead of silently parsing bytes the replacement producer is
+        about to overwrite.  Returns the new generation.
+        """
+        self._ctrl[_HEAD] = 0
+        self._ctrl[_TAIL] = 0
+        self._ctrl[_GEN] = self.generation + 1
+        self._cursor = 0
+        self._read_seq = 0
+        self._write_seq = 0
+        self._gen = self.generation
+        return self._gen
+
+    def rebind(self) -> None:
+        """Adopt the ring's current incarnation (survivor rejoin).
+
+        Re-reads the header and rewinds the endpoint cursors to the live
+        window, so a surviving peer can resume reading/writing a channel
+        that was reset while its counterpart was being replaced.
+        """
+        self._gen = self.generation
+        self._cursor = self.head
+        self._read_seq = 0
+        self._write_seq = 0
 
     def close(self) -> None:
         """Release numpy header views and unmap (no unlink)."""
@@ -254,6 +315,10 @@ class SlabRing:
         payload dtype or a non-integer snapshot token all return False and
         leave the ring untouched.
         """
+        if self.stale:
+            # the ring was reset behind our back (peer replaced): the
+            # queue plane carries the batch until this endpoint rebinds
+            return False
         ids = np.ascontiguousarray(msg.ids, dtype=np.int64)
         payloads = np.ascontiguousarray(msg.payloads)
         if payloads.ndim != 1 or ids.ndim != 1:
@@ -352,6 +417,14 @@ class SlabRing:
 
     def poll(self, src: int, dst: int) -> List[ShmMessageBatch]:
         """All records published since the last poll (FIFO, zero-copy)."""
+        if self.stale:
+            # a reset ring with a pre-reset cursor would either look
+            # empty forever (cursor > head) or hand out views into bytes
+            # the new producer owns; reject loudly instead
+            raise TransportError(
+                f"stale ring endpoint for {self.name!r}: bound to "
+                f"generation {self._gen}, ring is at {self.generation} "
+                f"(rebind required)")
         out: List[ShmMessageBatch] = []
         head = self.head
         while self._cursor < head:
@@ -407,6 +480,9 @@ class SlabPool:
         self.sent_batches = 0
         self.sent_bytes = 0
         self.fallbacks = 0
+        #: peers under takeover: their rings are skipped (the master may
+        #: reset them at any moment) until :meth:`rejoin_peer`
+        self._quarantined: set = set()
 
     def try_send(self, msg: MessageBatch) -> bool:
         if not isinstance(msg, MessageBatch):
@@ -414,7 +490,8 @@ class SlabPool:
             self.fallbacks += 1
             return False
         ring = self._out.get(msg.dst)
-        if ring is None or not ring.try_write(msg):
+        if ring is None or msg.dst in self._quarantined \
+                or not ring.try_write(msg):
             self.fallbacks += 1
             return False
         self.sent_batches += 1
@@ -425,12 +502,36 @@ class SlabPool:
         """Newly published inbound batches across all channels."""
         out: List[ShmMessageBatch] = []
         for src, ring in self._in.items():
+            if src in self._quarantined:
+                continue
             out.extend(ring.poll(src, self.wid))
         return out
 
+    def quarantine_peer(self, peer: int) -> List[ShmMessageBatch]:
+        """Final drain of ``peer``'s inbound ring, then fence it off.
+
+        Everything the dead incarnation published is parsed out one last
+        time (callers must copy these views before the master resets the
+        ring); afterwards neither :meth:`poll` nor :meth:`try_send`
+        touches the peer's channels until :meth:`rejoin_peer`.
+        """
+        ring = self._in.get(peer)
+        last = ring.poll(peer, self.wid) if ring is not None else []
+        self._quarantined.add(peer)
+        return last
+
+    def rejoin_peer(self, peer: int) -> None:
+        """Bind both of ``peer``'s channels to their reset incarnation."""
+        for side in (self._in, self._out):
+            ring = side.get(peer)
+            if ring is not None:
+                ring.rebind()
+        self._quarantined.discard(peer)
+
     @property
     def drained(self) -> bool:
-        return all(r.drained for r in self._in.values())
+        return all(r.drained for src, r in self._in.items()
+                   if src not in self._quarantined)
 
     def release(self, messages) -> None:
         """Reclaim ring space for processed shm-backed batches.
@@ -468,16 +569,36 @@ class SlabArena:
         self.run_id = run_id or new_run_id()
         self.num_workers = num_workers
         self._rings: List[SlabRing] = []
+        self._by_channel: Dict[Tuple[int, int], SlabRing] = {}
         try:
             for src in range(num_workers):
                 for dst in range(num_workers):
                     if src != dst:
-                        self._rings.append(SlabRing(
+                        ring = SlabRing(
                             channel_name(self.run_id, src, dst),
-                            capacity=slab_bytes, create=True))
+                            capacity=slab_bytes, create=True)
+                        self._rings.append(ring)
+                        self._by_channel[(src, dst)] = ring
         except Exception:
             self.unlink_all()
             raise
+
+    def ring(self, src: int, dst: int) -> SlabRing:
+        """The master's handle on one directed channel's ring."""
+        return self._by_channel[(src, dst)]
+
+    def reset_worker(self, wid: int) -> int:
+        """Reset every ring touching ``wid`` for a fresh incarnation.
+
+        Called during a takeover after the surviving peers have fully
+        drained and fenced off the dead worker's channels; returns the
+        new generation shared by the reset rings.
+        """
+        gen = 0
+        for (src, dst), ring in self._by_channel.items():
+            if src == wid or dst == wid:
+                gen = ring.reset()
+        return gen
 
     def unlink_all(self) -> int:
         """Close + unlink every segment of this run; returns the count."""
@@ -485,6 +606,7 @@ class SlabArena:
         for ring in self._rings:
             ring.close()
         self._rings = []
+        self._by_channel = {}
         for src in range(self.num_workers):
             for dst in range(self.num_workers):
                 if src == dst:

@@ -56,6 +56,21 @@ class GlobalSnapshot:
     def buffered_messages(self, wid: int) -> List[Message]:
         return list(self.channel_messages.get(wid, []))
 
+    def fragment_state(self, wid: int) -> WorkerSnapshot:
+        """Per-fragment extraction for surgical recovery.
+
+        A replacement worker is re-seeded from exactly one fragment's
+        recorded state (plus :meth:`buffered_messages`), without touching
+        the surviving workers — Theorem 2 licenses restarting any subset
+        from a consistent cut under monotone IncEval.
+        """
+        try:
+            return self.worker_states[wid]
+        except KeyError:
+            raise SnapshotError(
+                f"snapshot {self.token} holds no state for worker {wid} "
+                f"({self.num_workers_recorded} recorded)") from None
+
     @property
     def num_workers_recorded(self) -> int:
         return len(self.worker_states)
@@ -63,6 +78,44 @@ class GlobalSnapshot:
     @property
     def num_channel_messages(self) -> int:
         return sum(len(v) for v in self.channel_messages.values())
+
+
+def apply_snapshot_values(ctx, values: Any, scratch: Optional[Dict] = None
+                          ) -> None:
+    """Load recorded worker state into a (generic or dense) context.
+
+    Recorded values come in two shapes: a plain ``node -> value`` dict, or
+    the dense marker ``("__dense__", array)`` that
+    :meth:`~repro.core.dense.DenseContext.export_state` produces — the
+    fast path for vectorized checkpoints (one contiguous array instead of
+    a per-node dict).  Either shape loads into either context kind; the
+    change-tracking state is cleared so a seeded worker re-derives only
+    what its incoming messages actually improve.
+    """
+    dense_marked = (isinstance(values, tuple) and len(values) == 2
+                    and values[0] == "__dense__")
+    if dense_marked and hasattr(ctx, "import_state"):
+        ctx.import_state(values[1])
+    elif dense_marked:
+        # dense-recorded state into a generic context: expand the array
+        # through the fragment's compact view (dense contexts only exist
+        # for int-node graphs, so the gid mapping is total)
+        view = ctx.fragment.compact()
+        arr = values[1]
+        ctx.values.clear()
+        ctx.values.update(
+            {int(g): arr[lid] for lid, g in enumerate(view.gids)})
+    elif hasattr(ctx, "load_values"):
+        # plain dict into a dense context; checkpoints record every node
+        # of the fragment, so the bulk assignment is total
+        ctx.load_values(values)
+    else:
+        ctx.values.clear()
+        ctx.values.update(values)
+    if scratch is not None:
+        ctx.scratch.clear()
+        ctx.scratch.update(scratch)
+    ctx.changed = set()
 
 
 def stamp_messages(messages: Iterable[Message], token: Any) -> List[Message]:
@@ -248,6 +301,21 @@ class LiveCheckpointer:
         coord.begin()
         self.current = coord
         return coord
+
+    def abort_current(self, now: float) -> bool:
+        """Abandon the in-flight epoch (a recorder died mid-cut).
+
+        A takeover invalidates the open epoch: the dead incarnation can
+        never record, and its counted un-tokened traffic would leave the
+        conservation residual permanently non-zero.  The epoch clock
+        restarts from ``now`` so the next cut begins against the post-
+        takeover fleet.  Returns True when an epoch was actually open.
+        """
+        if self.current is None:
+            return False
+        self.current = None
+        self._last_epoch_end = now
+        return True
 
     def maybe_complete(self, now: float,
                        in_flight: int) -> Optional[GlobalSnapshot]:

@@ -46,7 +46,8 @@ from repro.runtime.detection import FailureDetector, FailureEvent
 from repro.runtime.faultplan import FaultPlan, InjectedCrash
 from repro.runtime.metrics import (RunMetrics, WorkerMetrics,
                                    registry_from_workers)
-from repro.runtime.snapshot import GlobalSnapshot, LiveCheckpointer
+from repro.runtime.snapshot import (GlobalSnapshot, LiveCheckpointer,
+                                    apply_snapshot_values)
 
 
 class ThreadedRuntime:
@@ -76,6 +77,11 @@ class ThreadedRuntime:
     detect_failures:
         Force the failure detector on/off; defaults to on whenever a fault
         plan or checkpoint interval is configured.
+    respawn_budget:
+        Surgical-recovery rung 1: how many in-place thread respawns each
+        worker slot may spend before a detected death degrades to
+        whole-run rollback (``WorkerCrashedError``).  0 (default)
+        disables the rung.
 
     With none of the fault-tolerance options set, the scheduling path is
     byte-for-byte today's: no extra locks, waits or message rewrites.
@@ -88,7 +94,8 @@ class ThreadedRuntime:
                  checkpoint_interval: Optional[float] = None,
                  heartbeat_interval: float = 0.02,
                  heartbeat_timeout: float = 1.0,
-                 detect_failures: Optional[bool] = None):
+                 detect_failures: Optional[bool] = None,
+                 respawn_budget: int = 0):
         self.engine = engine
         self.policy = policy
         self.time_scale = time_scale
@@ -124,6 +131,18 @@ class ThreadedRuntime:
         self._timers: List[threading.Timer] = []
         self._clean_exit = [False] * m
         self._seeded = False
+        #: surgical-recovery rung 1: in-place thread respawns allowed per
+        #: worker slot before a death degrades to whole-run rollback
+        self.respawn_budget = respawn_budget
+        self._budget = [respawn_budget] * m
+        #: one record per successful in-place respawn of the last run
+        self.respawns: List[dict] = []
+        #: per-slot incarnation, carried by heartbeats so a stale beat
+        #: can never vouch for a replacement thread
+        self._era = [0] * m
+        #: whether this slot's fragment ran PEval (a pre-PEval crash
+        #: leaves an uninitialised context the replacement must fill)
+        self._peval_done = [False] * m
 
     # ------------------------------------------------------------------
     @property
@@ -143,9 +162,8 @@ class ThreadedRuntime:
                 f"engine has {self.engine.num_workers}")
         for wid, ctx in enumerate(self.engine.contexts):
             state = snapshot.worker_states[wid]
-            ctx.values = copy.deepcopy(state.values)
-            ctx.scratch = copy.deepcopy(state.scratch)
-            ctx.changed = set()
+            apply_snapshot_values(ctx, copy.deepcopy(state.values),
+                                  copy.deepcopy(state.scratch))
             w = self.workers[wid]
             w.rounds = 1  # PEval logically done
             for msg in snapshot.buffered_messages(wid):
@@ -155,6 +173,8 @@ class ThreadedRuntime:
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         self._start_time = time.monotonic()
+        self.respawns = []
+        self._budget = [self.respawn_budget] * self.engine.num_workers
         if self._detector is not None:
             for wid in range(self.engine.num_workers):
                 self._detector.beat(wid, self._start_time)
@@ -244,19 +264,89 @@ class ThreadedRuntime:
             if self.obs is not None:
                 self.obs.log.emit(obs_events.FAILURE_DETECTED, t, wid=s.wid,
                                   reason=s.kind, age=s.age)
-            raise WorkerCrashedError(
-                wid=s.wid, reason=s.kind, detected_at=t,
-                checkpoint=self.last_checkpoint, failures=self.failures,
-                detection_latency=s.age)
+            # degradation ladder, rung 1: respawn the thread in place
+            if not self._try_respawn(s, t):
+                raise WorkerCrashedError(
+                    wid=s.wid, reason=s.kind, detected_at=t,
+                    checkpoint=self.last_checkpoint, failures=self.failures,
+                    detection_latency=s.age)
 
     def _worker_alive(self, wid: int) -> bool:
         # a clean exit (master terminated while the poll raced) is not death
         return self._threads[wid].is_alive() or self._clean_exit[wid]
 
+    def _try_respawn(self, s, t: float) -> bool:
+        """Degradation-ladder rung 1: replace a dead worker thread.
+
+        Threads share the address space, so the dead worker's fragment
+        state *survives* its thread: an injected crash fires between
+        rounds — a consistent cut under monotone IncEval — and everything
+        its final round produced was already shipped.  Takeover is
+        therefore pure resumption on the surviving context: no checkpoint
+        reseed, no border re-ship, no quarantine, and surviving workers
+        never pause at all.  Returns False to hand the failure to the
+        next rung (whole-run rollback via ``WorkerCrashedError``).
+        """
+        wid = s.wid
+
+        def degrade(reason: str) -> bool:
+            if self.obs is not None:
+                self.obs.log.emit(obs_events.DEGRADE, t, wid=wid,
+                                  frm="respawn", to="rollback",
+                                  reason=reason)
+            return False
+
+        if self._budget[wid] <= 0:
+            if self.respawn_budget > 0:
+                return degrade("respawn budget exhausted")
+            return False  # rung disabled: no DEGRADE noise
+        if self._threads[wid].is_alive():
+            # hung, not dead: its next step would race the replacement
+            # on the same shared context — never run two incarnations
+            # of one fragment concurrently
+            return degrade("old thread is hung, not dead")
+        if self.master.terminated:
+            return False
+        t0 = time.monotonic()
+        self._budget[wid] -= 1
+        if self._injector is not None:
+            # the fired crash consumed its schedule slot; un-mark the
+            # slot so any *later* scheduled crash for it can still fire
+            self._injector.reset_worker(wid)
+        incarnation = (self._detector.respawn(wid, t0)
+                       if self._detector is not None
+                       else self._era[wid] + 1)
+        self._era[wid] = incarnation
+        self._clean_exit[wid] = False
+        replacement = threading.Thread(
+            target=self._worker_loop, args=(wid,),
+            name=f"grape-worker-{wid}-r{incarnation}", daemon=True)
+        self._threads[wid] = replacement
+        # mark active before the thread runs: the master must not reach
+        # a termination verdict between start() and the first loop tick
+        self.master.set_active(wid)
+        replacement.start()
+        self._events[wid].set()
+        duration = time.monotonic() - t0
+        # threads share the address space, so the fragment survives its
+        # worker: the replacement resumes in place with no state rebuild
+        self.respawns.append({
+            "wid": wid, "incarnation": incarnation, "seeded": False,
+            "token": None, "takeover": False, "t": t, "duration": duration,
+            "budget_left": self._budget[wid]})
+        if self.obs is not None:
+            self.obs.log.emit(obs_events.WORKER_RESPAWN, t, wid=wid,
+                              incarnation=incarnation, seeded=False,
+                              token=None, budget_left=self._budget[wid])
+            self.obs.log.emit(obs_events.FRAGMENT_TAKEOVER, t, wid=wid,
+                              incarnation=incarnation, reshipped=0,
+                              duration=duration)
+        return True
+
     def _ft_tick(self, wid: int) -> None:
         """Worker-side tick: heartbeat, injected crash, checkpoint record."""
         if self._detector is not None:
-            self._detector.beat(wid, time.monotonic())
+            self._detector.beat(wid, time.monotonic(), self._era[wid])
         if self._injector is not None:
             w = self.workers[wid]
             if self._injector.crash_due(wid, w.rounds):
@@ -304,8 +394,12 @@ class ThreadedRuntime:
         try:
             if self._ft:
                 self._ft_tick(wid)  # at_round <= 0 crashes before PEval
-            if not self._seeded:
+            if not self._seeded and not self._peval_done[wid]:
+                # a respawned thread resumes the surviving context; only
+                # the first incarnation (or one whose predecessor died
+                # before PEval finished) initialises the fragment
                 self._run_round(wid, peval=True)
+                self._peval_done[wid] = True
             while not self.master.terminated:
                 if self._ft:
                     self._ft_tick(wid)
