@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint trace-demo fuzz fuzz-smoke chaos-smoke
+.PHONY: test lint trace-demo fuzz fuzz-smoke chaos-smoke serve-smoke
 
 ## tier-1 test suite (the CI gate)
 test:
@@ -35,6 +35,15 @@ fuzz-smoke:
 chaos-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/chaos_smoke.py \
 		--out chaos-out
+
+## the CI serving gate: short mixed update/query workload through the
+## resident service; fails on any staleness-contract violation or if
+## the drained service diverges from full recomputation
+## (docs/serving.md)
+serve-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/bench_serve.py \
+		--graph powerlaw:300 --queries 300 --batches 12 \
+		--out BENCH_serve_smoke.json
 
 ## example observability run: straggler SSSP -> Chrome trace + audit
 trace-demo:

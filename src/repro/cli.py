@@ -347,6 +347,87 @@ def cmd_bench(args) -> int:
 
 
 # ----------------------------------------------------------------------
+def _build_service(args):
+    from repro.serve import AdmissionController, GraphService
+    graph = parse_graph(args.graph, seed=args.seed)
+    program, query = build_program(args.algorithm, graph, args.source)
+    admission = AdmissionController(
+        max_pending_batches=args.max_pending,
+        max_catchup=args.max_catchup if args.max_catchup >= 0 else None)
+    return GraphService(program, graph, query,
+                        num_fragments=args.fragments, mode=args.mode,
+                        runtime=args.runtime, admission=admission,
+                        cache_size=args.cache_size)
+
+
+def cmd_serve(args) -> int:
+    """Bring a service up, drive a seeded update stream through it, and
+    report per-epoch integration stats plus a final differential check."""
+    from repro.obs import EPOCH_APPLY
+    from repro.serve import LoadGenerator, verify_against_recompute
+    service = _build_service(args)
+    gen = LoadGenerator(service, seed=args.seed, num_queries=1,
+                        num_batches=args.batches,
+                        batch_size=args.batch_size)
+    accepted = shed = 0
+    for _ in range(args.batches):
+        batch = gen.next_batch()
+        if batch is None:
+            break
+        if service.ingest(batch).accepted:
+            accepted += 1
+        else:
+            shed += 1
+        service.pump(1)
+        for ev in service.obs.log.events[-1:]:
+            if ev.type == EPOCH_APPLY:
+                print(f"epoch {ev.payload['epoch']:>4}  "
+                      f"edges {ev.payload['edges']:>4}  "
+                      f"changed {ev.payload['changed']:>6}  "
+                      f"{ev.payload['duration'] * 1000:8.2f} ms",
+                      file=sys.stderr)
+    service.flush()
+    matches = verify_against_recompute(service)
+    epoch_hist = service.obs.metrics.histogram("serve_epoch_duration")
+    print(json.dumps({
+        "graph": args.graph, "algorithm": args.algorithm,
+        "mode": args.mode, "runtime": args.runtime,
+        "fragments": args.fragments,
+        "batches_accepted": accepted, "batches_shed": shed,
+        "epochs": service.epoch,
+        "nodes": service.graph.num_nodes,
+        "edges": service.graph.num_edges,
+        "epoch_ms_mean": round(epoch_hist.mean * 1000, 3),
+        "matches_recompute": matches,
+    }, indent=2))
+    return 0 if matches else 1
+
+
+def cmd_loadgen(args) -> int:
+    """Drive a seeded mixed update/query workload and write the report."""
+    from repro.serve import LoadGenerator, verify_against_recompute
+    service = _build_service(args)
+    gen = LoadGenerator(service, seed=args.seed,
+                        num_queries=args.queries,
+                        num_batches=args.batches,
+                        batch_size=args.batch_size, skew=args.skew,
+                        staleness_bounds=tuple(
+                            int(b) for b in args.bounds.split(",")))
+    report = gen.run()
+    report["matches_recompute"] = verify_against_recompute(service)
+    text = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    ok = (report["matches_recompute"]
+          and report["staleness"]["violations"] == 0)
+    return 0 if ok else 1
+
+
+# ----------------------------------------------------------------------
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -485,6 +566,43 @@ def make_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--quiet", action="store_true",
                         help="suppress per-case progress on stderr")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    def serve_common(p):
+        common(p)
+        p.add_argument("--mode", default="AAP", choices=list(MODES))
+        p.add_argument("--runtime", default="threaded",
+                       choices=["threaded", "simulated"])
+        p.add_argument("--batches", type=int, default=20,
+                       help="update batches to stream in")
+        p.add_argument("--batch-size", type=int, default=8,
+                       help="edge insertions per batch")
+        p.add_argument("--max-pending", type=int, default=64,
+                       help="ingest queue bound (excess batches are shed)")
+        p.add_argument("--max-catchup", type=int, default=32,
+                       help="max epochs one query may force (-1: unbounded)")
+        p.add_argument("--cache-size", type=int, default=4096,
+                       help="query result cache capacity (0 disables)")
+
+    p_serve = sub.add_parser(
+        "serve", help="resident bounded-staleness service: stream a seeded "
+                      "update load, report per-epoch stats")
+    serve_common(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_lg = sub.add_parser(
+        "loadgen", help="mixed update/query workload against a fresh "
+                        "service; reports latency percentiles, staleness "
+                        "and throughput")
+    serve_common(p_lg)
+    p_lg.add_argument("--queries", type=int, default=1000,
+                      help="read queries to issue")
+    p_lg.add_argument("--skew", type=float, default=2.0,
+                      help="key skew exponent (higher = hotter head)")
+    p_lg.add_argument("--bounds", default="0,1,2,4",
+                      help="comma-separated staleness bounds to draw from")
+    p_lg.add_argument("--out", default=None,
+                      help="write the JSON report here instead of stdout")
+    p_lg.set_defaults(func=cmd_loadgen)
 
     p_bench = sub.add_parser("bench", help="run a named experiment")
     common(p_bench, algorithm=False)

@@ -130,6 +130,31 @@ class Engine:
                 routes[dst][lid] = True
         return routes, ship_mask
 
+    def refresh_routes(self, wids) -> None:
+        """Recompute memoized routing after the partition grew in place.
+
+        :func:`repro.partition.grow.grow_edge_cut` invalidates the
+        fragment-level caches; this refreshes the engine's per-instance
+        copies (ship sets, dense routes) for the touched fragments so a
+        warm engine keeps serving without a rebuild.
+        """
+        cacheable = getattr(self.program, "cacheable_routes", True)
+        cls = type(self.program)
+        for wid in wids:
+            frag = self.pg.fragments[wid]
+            self._ship_sets[wid] = (
+                frag.memo(("ship_set", cls),
+                          lambda f=frag: self._checked_ship_set(f))
+                if cacheable else self._checked_ship_set(frag))
+            if self.vectorized:
+                routes, ship_mask = (
+                    frag.memo(("dense_routes", cls),
+                              lambda w=wid, f=frag:
+                              self._build_dense_routes(w, f))
+                    if cacheable else self._build_dense_routes(wid, frag))
+                self._dense_routes[wid] = routes
+                self._dense_ship_masks[wid] = ship_mask
+
     # ------------------------------------------------------------------
     def run_peval(self, wid: int) -> RoundOutput:
         """Round 0: run the batch algorithm and derive initial messages."""

@@ -22,12 +22,13 @@ See ``docs/observability.md`` for the event schema and usage.
 """
 
 from repro.obs.audit import explain_delays
-from repro.obs.events import (BARRIER, CHECKPOINT, DS_DECISION, EVENT_TYPES,
+from repro.obs.events import (ADMISSION_SHED, BARRIER, CHECKPOINT,
+                              DS_DECISION, EPOCH_APPLY, EVENT_TYPES,
                               FAILURE_DETECTED, FAULT_INJECTED,
-                              HEARTBEAT_MISS, MSG_DELIVER, MSG_SEND,
-                              RETRY, ROLLBACK, ROUND_END, ROUND_START,
-                              SCHEMA, STATUS_CHANGE, TERMINATE_PROBE,
-                              EventLog, ObsEvent)
+                              HEARTBEAT_MISS, INGEST, MSG_DELIVER, MSG_SEND,
+                              QUERY_SERVED, RETRY, ROLLBACK, ROUND_END,
+                              ROUND_START, SCHEMA, STATUS_CHANGE,
+                              TERMINATE_PROBE, EventLog, ObsEvent)
 from repro.obs.export import (read_jsonl, to_chrome_trace, write_chrome_trace,
                               write_jsonl)
 from repro.obs.registry import (Counter, Gauge, Histogram, MetricsRegistry)
@@ -60,4 +61,5 @@ __all__ = [
     "ROUND_START", "ROUND_END", "MSG_SEND", "MSG_DELIVER", "DS_DECISION",
     "STATUS_CHANGE", "BARRIER", "TERMINATE_PROBE", "HEARTBEAT_MISS",
     "FAILURE_DETECTED", "CHECKPOINT", "ROLLBACK", "RETRY", "FAULT_INJECTED",
+    "INGEST", "EPOCH_APPLY", "QUERY_SERVED", "ADMISSION_SHED",
 ]

@@ -50,11 +50,20 @@ WORKER_RESPAWN = "worker_respawn"
 FRAGMENT_TAKEOVER = "fragment_takeover"
 #: recovery fell down one rung of the degradation ladder
 DEGRADE = "degrade"
+#: the graph service accepted an update batch into its ingest queue
+INGEST = "ingest"
+#: one ingested batch was fully applied and re-converged (an epoch)
+EPOCH_APPLY = "epoch_apply"
+#: the graph service answered a read query under its freshness contract
+QUERY_SERVED = "query_served"
+#: admission control shed work (an update batch or a read query)
+ADMISSION_SHED = "admission_shed"
 
 EVENT_TYPES = (ROUND_START, ROUND_END, MSG_SEND, MSG_DELIVER, DS_DECISION,
                STATUS_CHANGE, BARRIER, TERMINATE_PROBE, HEARTBEAT_MISS,
                FAILURE_DETECTED, CHECKPOINT, ROLLBACK, RETRY, FAULT_INJECTED,
-               WORKER_RESPAWN, FRAGMENT_TAKEOVER, DEGRADE)
+               WORKER_RESPAWN, FRAGMENT_TAKEOVER, DEGRADE, INGEST,
+               EPOCH_APPLY, QUERY_SERVED, ADMISSION_SHED)
 
 #: canonical payload keys per event type (shared by every runtime)
 SCHEMA: Dict[str, tuple] = {
@@ -76,6 +85,11 @@ SCHEMA: Dict[str, tuple] = {
     WORKER_RESPAWN: ("incarnation", "seeded", "token", "budget_left"),
     FRAGMENT_TAKEOVER: ("incarnation", "reshipped", "duration"),
     DEGRADE: ("frm", "to", "reason"),
+    INGEST: ("edges", "depth", "latency"),
+    EPOCH_APPLY: ("epoch", "edges", "changed", "duration"),
+    QUERY_SERVED: ("key", "bound", "staleness", "epoch", "latency",
+                   "cache_hit"),
+    ADMISSION_SHED: ("kind", "reason", "depth"),
 }
 
 

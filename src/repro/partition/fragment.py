@@ -199,6 +199,19 @@ class Fragment:
             self._memo[key] = value
             return value
 
+    def invalidate_caches(self) -> None:
+        """Drop every memoized view after the fragment grew in place.
+
+        :func:`repro.partition.grow.grow_edge_cut` mutates the local graph
+        and the border/routing sets; the cached CSR view, ship sets, dense
+        routes and peer sets are all pure functions of that structure and
+        must be rebuilt on next use.  Engines kept over the partition
+        additionally call :meth:`~repro.core.engine.Engine.refresh_routes`
+        to refresh the per-instance copies they hold.
+        """
+        self._compact = None
+        self._memo = None
+
     @property
     def num_local_nodes(self) -> int:
         return len(self.owned)

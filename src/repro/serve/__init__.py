@@ -1,0 +1,21 @@
+"""Resident bounded-staleness serving on top of incremental IncEval.
+
+The streaming package keeps one computation alive across update batches;
+this package turns that into a *service*: PEval once, fragments warm,
+continuous ingest through in-place partition growth + inc_update
+continuation runs, and read queries answered under a declared staleness
+bound (see :mod:`repro.serve.service` and ``docs/serving.md``).
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import QueryCache
+from repro.serve.loadgen import (LoadGenerator, latency_summary, percentile,
+                                 verify_against_recompute)
+from repro.serve.service import (GraphService, IngestReceipt, QueryResult,
+                                 RUNTIMES)
+
+__all__ = [
+    "AdmissionController", "QueryCache", "GraphService", "IngestReceipt",
+    "QueryResult", "RUNTIMES", "LoadGenerator", "latency_summary",
+    "percentile", "verify_against_recompute",
+]

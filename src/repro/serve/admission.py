@@ -1,0 +1,56 @@
+"""Admission control for the resident graph service.
+
+A resident service that never says no falls over in the worst way: the
+ingest queue grows without bound, every query pays an unbounded catch-up
+bill, and by the time anything fails the failure is memory exhaustion
+rather than a refusal the client can act on.  The controller bounds both
+queues and *sheds-and-reports*: rejected work is returned to the caller
+with a reason (and surfaced as an ``admission_shed`` obs event by the
+service) instead of silently dropped or silently queued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class AdmissionController:
+    """Decide whether to accept an update batch or a read query.
+
+    - ``max_pending_batches`` bounds the ingest queue: an
+      :meth:`~repro.serve.service.GraphService.ingest` arriving when the
+      queue is full is shed, so backlog (and the staleness debt queries
+      must pay down) stays bounded.
+    - ``max_catchup`` bounds the work one query may force: a query whose
+      freshness bound requires applying more than this many pending
+      batches is shed rather than allowed to stall the caller.  ``None``
+      disables the query bound.
+    """
+
+    max_pending_batches: int = 64
+    max_catchup: Optional[int] = 32
+
+    def admit_batch(self, depth: int) -> Optional[str]:
+        """``None`` to accept a batch at queue depth ``depth``, else the
+        shed reason."""
+        if depth >= self.max_pending_batches:
+            return (f"ingest queue full ({depth} >= "
+                    f"{self.max_pending_batches} pending batches)")
+        return None
+
+    def admit_query(self, lag: int, bound: int) -> Optional[str]:
+        """``None`` to accept a query, else the shed reason.
+
+        ``lag`` is the current staleness (pending batches); ``bound`` is
+        the query's declared maximum, so ``lag - bound`` is the number of
+        epochs the service would have to apply before answering.
+        """
+        if self.max_catchup is None:
+            return None
+        needed = lag - bound
+        if needed > self.max_catchup:
+            return (f"catch-up of {needed} epochs exceeds limit "
+                    f"{self.max_catchup} (lag={lag}, bound={bound})")
+        return None

@@ -1,0 +1,363 @@
+"""A resident bounded-staleness graph service over the AAP engines.
+
+:class:`GraphService` is the serving-path counterpart of
+:class:`~repro.streaming.StreamingSession`: it runs PEval exactly once on
+a live runtime, then keeps the partitioned fragments *warm* while a
+continuous stream of :class:`~repro.streaming.UpdateBatch` es flows in and
+read queries flow out.  The hot path never rebuilds the engine:
+
+1. **Ingest** — batches are validated atomically (against the current
+   graph *and* the already-staged batches), admitted through a bounded
+   queue, and parked; accepting a batch advances the *accepted* epoch.
+2. **Epoch apply** — one parked batch is materialised by growing the
+   fragments in place (:func:`~repro.partition.grow.grow_edge_cut` — same
+   owner map, memoized routes refreshed, cost proportional to the batch),
+   new nodes get program-default status variables and fresh mirrors adopt
+   their owner's converged value, each touched fragment integrates its
+   insertions through :meth:`~repro.core.pie.PIEProgram.inc_update` + one
+   IncEval, and the continuation run resumes from the resulting designated
+   messages (Theorem 2: monotone programs converge to ``Q(G ⊕ ∆G)`` from
+   any intermediate state).  Applying a batch advances the *applied*
+   epoch.
+3. **Query** — each read declares a maximum staleness in applied-batch
+   epochs (an SSP-style bound).  The service's staleness is the number of
+   accepted-but-unapplied batches; a query whose bound is already met is
+   answered from the current snapshot, otherwise the service applies
+   pending batches until the lag satisfies the bound ("block until
+   convergence catches up").  Point lookups go through an LRU cache
+   invalidated by the changed keys of each epoch's answer diff.
+
+Every ingest, epoch and query emits an obs event and feeds the latency /
+freshness histograms on the service's :class:`~repro.obs.Observer`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Deque, Dict, Hashable, List, Optional, Set
+
+from repro.core.engine import Engine
+from repro.core.modes import make_policy
+from repro.core.pie import PIEProgram
+from repro.core.result import RunResult
+from repro.errors import ProgramError, ReproError
+from repro.graph.graph import Graph
+from repro.graph.stable import stable_owner
+from repro.obs import (ADMISSION_SHED, EPOCH_APPLY, INGEST, QUERY_SERVED,
+                       Observer)
+from repro.partition.builder import build_edge_cut
+from repro.partition.grow import GrowthReport, grow_edge_cut
+from repro.runtime.simulator import SimulatedRuntime
+from repro.runtime.threaded import ThreadedRuntime
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import QueryCache
+from repro.streaming.updates import UpdateBatch, edge_key, validate_batch
+
+Node = Hashable
+
+#: sentinel distinguishing "key absent" from "value is None"
+_MISSING = object()
+
+RUNTIMES = ("threaded", "simulated")
+
+
+@dataclass(frozen=True)
+class IngestReceipt:
+    """What :meth:`GraphService.ingest` hands back for one batch."""
+
+    accepted: bool
+    #: accepted-epoch number this batch will become when applied
+    #: (meaningless when shed)
+    epoch: int
+    #: ingest queue depth after this call
+    depth: int
+    #: wall seconds spent admitting + validating + staging
+    latency: float
+    #: shed reason when not accepted
+    reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered (or shed) read query."""
+
+    served: bool
+    value: Any
+    #: applied epoch of the snapshot that answered
+    epoch: int
+    #: accepted-but-unapplied batches at answer time (≤ the query's bound)
+    staleness: int
+    #: wall seconds from query arrival to answer
+    latency: float
+    cache_hit: bool = False
+    #: shed reason when not served
+    reason: Optional[str] = None
+
+
+class GraphService:
+    """A warm, incrementally-updated PIE computation behind a query API.
+
+    ``runtime`` selects what executes the continuation runs: ``threaded``
+    (real threads, the serving configuration) or ``simulated`` (the
+    deterministic reference, used by the differential tests).
+    """
+
+    def __init__(self, program: PIEProgram, graph: Graph, query: Any,
+                 num_fragments: int = 4, mode: str = "AAP",
+                 runtime: str = "threaded",
+                 staleness_bound: Optional[int] = None,
+                 admission: Optional[AdmissionController] = None,
+                 cache_size: int = 4096,
+                 observer: Optional[Observer] = None,
+                 time_scale: float = 1e-4):
+        if runtime not in RUNTIMES:
+            raise ReproError(
+                f"unknown service runtime {runtime!r}; pick from {RUNTIMES}")
+        self.program = program
+        self.graph = graph.copy()
+        #: the PIE query object (the read API is :meth:`query`)
+        self.pie_query = query
+        self.m = num_fragments
+        self.mode = mode
+        self.runtime = runtime
+        self.time_scale = time_scale
+        if staleness_bound is None and program.needs_bounded_staleness:
+            staleness_bound = program.default_staleness_bound
+        self.staleness_bound = staleness_bound
+        self.admission = admission if admission is not None \
+            else AdmissionController()
+        self.cache = QueryCache(cache_size)
+        #: always-on observability: events + histograms for every ingest,
+        #: epoch and query land here
+        self.obs = observer if observer is not None else Observer()
+        # ownership is the process-stable hash shared with StreamingSession,
+        # so a session-warmed partition and the service agree on placement
+        owner = {v: stable_owner(v, num_fragments) for v in self.graph.nodes}
+        self.pg = build_edge_cut(self.graph, owner, num_fragments, "serving")
+        self.engine = Engine(program, self.pg, query)
+        #: applied epochs == batches fully integrated and re-converged
+        self.epoch = 0
+        #: accepted epochs == applied + parked batches
+        self.accepted = 0
+        self._pending: Deque[UpdateBatch] = deque()
+        #: edge keys of parked batches (cross-batch duplicate detection)
+        self._staged: Set[Any] = set()
+        #: the one PEval in this service's lifetime
+        self.initial_result: RunResult = self._run_fresh()
+        self._answer: Dict[Node, Any] = self._assembled()
+
+    # -- runtime plumbing ----------------------------------------------
+    def _policy(self):
+        return make_policy(self.mode, staleness_bound=self.staleness_bound)
+
+    def _make_runtime(self):
+        if self.runtime == "threaded":
+            return ThreadedRuntime(self.engine, self._policy(),
+                                   time_scale=self.time_scale)
+        return SimulatedRuntime(self.engine, self._policy(),
+                                record_trace=False)
+
+    def _run_fresh(self) -> RunResult:
+        return self._make_runtime().run()
+
+    def _assembled(self) -> Dict[Node, Any]:
+        answer = self.engine.assemble()
+        try:
+            return dict(answer)
+        except (TypeError, ValueError):
+            raise ProgramError(
+                f"{type(self.program).__name__} assembles a "
+                f"{type(answer).__name__}; the service needs a node -> "
+                f"value mapping to serve point lookups") from None
+
+    # -- introspection -------------------------------------------------
+    @property
+    def lag(self) -> int:
+        """Current staleness: accepted-but-unapplied batches."""
+        return len(self._pending)
+
+    @property
+    def answer(self) -> Dict[Node, Any]:
+        """The assembled answer at the current *applied* epoch."""
+        return dict(self._answer)
+
+    # -- ingest path ---------------------------------------------------
+    def ingest(self, batch: UpdateBatch) -> IngestReceipt:
+        """Admit, validate and park one update batch.
+
+        Atomic: validation covers the whole batch against the current
+        graph plus everything already staged, so a rejected batch
+        (:class:`~repro.errors.ProgramError`) leaves the service
+        untouched.  A shed batch (queue full) is reported, not raised.
+        """
+        t0 = perf_counter()
+        reason = self.admission.admit_batch(len(self._pending))
+        if reason is not None:
+            self.obs.metrics.counter("serve_shed_batches").inc()
+            self.obs.log.emit(ADMISSION_SHED, perf_counter(), kind="batch",
+                              reason=reason, depth=len(self._pending))
+            return IngestReceipt(accepted=False, epoch=self.accepted,
+                                 depth=len(self._pending),
+                                 latency=perf_counter() - t0, reason=reason)
+        validate_batch(self.graph, batch, staged=self._staged)
+        for u, v, _ in batch.insertions:
+            self._staged.add(edge_key(self.graph, u, v))
+        self._pending.append(batch)
+        self.accepted += 1
+        latency = perf_counter() - t0
+        self.obs.metrics.histogram("serve_ingest_latency").observe(latency)
+        self.obs.metrics.counter("serve_batches_accepted").inc()
+        self.obs.log.emit(INGEST, perf_counter(), edges=len(batch),
+                          depth=len(self._pending), latency=latency)
+        return IngestReceipt(accepted=True, epoch=self.accepted,
+                             depth=len(self._pending), latency=latency)
+
+    # -- epoch apply ---------------------------------------------------
+    def pump(self, max_batches: Optional[int] = None) -> int:
+        """Apply up to ``max_batches`` pending batches; return how many."""
+        applied = 0
+        while self._pending and (max_batches is None
+                                 or applied < max_batches):
+            self._apply_one()
+            applied += 1
+        return applied
+
+    def flush(self) -> int:
+        """Apply every pending batch (staleness 0 afterwards)."""
+        return self.pump()
+
+    def _apply_one(self) -> None:
+        batch = self._pending.popleft()
+        t0 = perf_counter()
+        for u, v, w in batch.insertions:
+            self._staged.discard(edge_key(self.graph, u, v))
+            self.graph.add_edge(u, v, w)
+        report = grow_edge_cut(self.pg, batch.insertions)
+        self._extend_contexts(report)
+        touched = sorted(report.touched)
+        self.engine.refresh_routes(touched)
+        messages = self._integrate(batch, touched)
+        if messages:
+            runtime = self._make_runtime()
+            runtime.seed_resume(messages)
+            runtime.run()
+        # with no designated messages the local IncEvals already reached
+        # the global fixpoint; skip the runtime entirely
+        self.epoch += 1
+        new_answer = self._assembled()
+        changed = {k for k, val in new_answer.items()
+                   if self._answer.get(k, _MISSING) != val}
+        self.cache.invalidate(changed)
+        self._answer = new_answer
+        duration = perf_counter() - t0
+        self.obs.metrics.counter("serve_epochs").inc()
+        self.obs.metrics.histogram("serve_epoch_duration").observe(duration)
+        self.obs.metrics.histogram("serve_epoch_changed").observe(
+            len(changed))
+        self.obs.log.emit(EPOCH_APPLY, perf_counter(), epoch=self.epoch,
+                          edges=len(batch), changed=len(changed),
+                          duration=duration)
+
+    def _extend_contexts(self, report: GrowthReport) -> None:
+        """Give every newly-present node a status variable.
+
+        Two passes: brand-new *owned* nodes take the program's initial
+        value (what a rebuilt context would start them at); fresh mirror
+        copies then adopt their owner's current value — exactly the
+        carry-over :class:`~repro.streaming.StreamingSession` performs on
+        rebuild, done in place.  Nothing is marked changed: seeding is
+        ``inc_update``'s job.
+        """
+        for fid, nodes in report.new_local.items():
+            ctx = self.engine.contexts[fid]
+            owned_new = [v for v in nodes
+                         if self.pg.owner[v] == fid and v not in ctx.values]
+            if owned_new:
+                defaults = self.program.init_values(self.pg.fragments[fid],
+                                                    self.pie_query)
+                for v in owned_new:
+                    ctx.values[v] = defaults[v]
+        for fid, nodes in report.new_local.items():
+            ctx = self.engine.contexts[fid]
+            for v in nodes:
+                if v not in ctx.values:
+                    owner_ctx = self.engine.contexts[self.pg.owner[v]]
+                    ctx.values[v] = owner_ctx.values[v]
+
+    def _integrate(self, batch: UpdateBatch,
+                   touched: List[int]) -> List[Any]:
+        """inc_update + one IncEval per touched fragment; collect the
+        designated messages that seed the continuation run."""
+        messages: List[Any] = []
+        for wid in touched:
+            frag = self.pg.fragments[wid]
+            local = [(u, v, w) for u, v, w in batch.insertions
+                     if frag.graph.has_node(u) and frag.graph.has_node(v)
+                     and frag.graph.has_edge(u, v)]
+            if not local:
+                continue
+            ctx = self.engine.contexts[wid]
+            seeds = self.program.inc_update(frag, ctx, local, self.pie_query)
+            if seeds:
+                self.program.inceval(frag, ctx, set(seeds), self.pie_query)
+            messages.extend(self.engine.derive_messages(wid, round_no=1))
+        return messages
+
+    # -- query path ----------------------------------------------------
+    def query(self, key: Node, staleness_bound: int = 0) -> QueryResult:
+        """Answer a point lookup no staler than ``staleness_bound`` epochs.
+
+        If the current lag exceeds the bound, pending batches are applied
+        until it does not (the "block until convergence catches up" arm of
+        the contract); the admission controller may shed the query first
+        if that catch-up would exceed its work budget.
+        """
+        return self._serve(key, staleness_bound, snapshot=False)
+
+    def snapshot(self, staleness_bound: int = 0) -> QueryResult:
+        """The whole assembled answer under the same freshness contract."""
+        return self._serve(None, staleness_bound, snapshot=True)
+
+    def _serve(self, key: Optional[Node], bound: int,
+               snapshot: bool) -> QueryResult:
+        if bound < 0:
+            raise ProgramError(
+                f"staleness bound must be >= 0 epochs, got {bound}")
+        t0 = perf_counter()
+        reason = self.admission.admit_query(len(self._pending), bound)
+        if reason is not None:
+            self.obs.metrics.counter("serve_shed_queries").inc()
+            self.obs.log.emit(ADMISSION_SHED, perf_counter(), kind="query",
+                              reason=reason, depth=len(self._pending))
+            return QueryResult(served=False, value=None, epoch=self.epoch,
+                               staleness=len(self._pending),
+                               latency=perf_counter() - t0, reason=reason)
+        while len(self._pending) > bound:
+            self._apply_one()
+        staleness = len(self._pending)
+        cache_hit = False
+        if snapshot:
+            value: Any = dict(self._answer)
+        else:
+            cache_hit, value = self.cache.get(key)
+            if not cache_hit:
+                value = self._answer.get(key)
+                self.cache.put(key, value)
+        latency = perf_counter() - t0
+        self.obs.metrics.histogram("serve_query_latency").observe(latency)
+        self.obs.metrics.histogram("serve_staleness").observe(staleness)
+        self.obs.metrics.counter("serve_queries").inc()
+        self.obs.log.emit(QUERY_SERVED, perf_counter(),
+                          key=repr(key) if not snapshot else "<snapshot>",
+                          bound=bound, staleness=staleness, epoch=self.epoch,
+                          latency=latency, cache_hit=cache_hit)
+        return QueryResult(served=True, value=value, epoch=self.epoch,
+                           staleness=staleness, latency=latency,
+                           cache_hit=cache_hit)
+
+    def __repr__(self) -> str:
+        return (f"GraphService(m={self.m}, mode={self.mode!r}, "
+                f"runtime={self.runtime!r}, epoch={self.epoch}, "
+                f"lag={self.lag})")

@@ -1,6 +1,6 @@
 """Streaming updates on top of incremental IncEval (paper's future work)."""
 
 from repro.streaming.session import StreamingSession
-from repro.streaming.updates import UpdateBatch
+from repro.streaming.updates import UpdateBatch, edge_key, validate_batch
 
-__all__ = ["StreamingSession", "UpdateBatch"]
+__all__ = ["StreamingSession", "UpdateBatch", "edge_key", "validate_batch"]

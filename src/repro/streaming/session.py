@@ -12,18 +12,19 @@ intermediate state, so the continuation converges to ``Q(G ⊕ ∆G)``.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Callable, Dict, Hashable, List, Optional
 
 from repro.core.engine import Engine
 from repro.core.modes import make_policy
 from repro.core.pie import PIEProgram
 from repro.core.result import RunResult
-from repro.errors import ProgramError
 from repro.graph.graph import Graph
+from repro.graph.stable import stable_owner
 from repro.partition.builder import build_edge_cut
 from repro.runtime.costmodel import CostModel
 from repro.runtime.simulator import SimulatedRuntime
-from repro.streaming.updates import UpdateBatch
+from repro.streaming.updates import UpdateBatch, validate_batch
 
 Node = Hashable
 
@@ -45,8 +46,11 @@ class StreamingSession:
         if staleness_bound is None and program.needs_bounded_staleness:
             staleness_bound = program.default_staleness_bound
         self.staleness_bound = staleness_bound
+        # placement must be a pure function of the node id: builtin hash
+        # is salted per process (PYTHONHASHSEED), so two processes — or a
+        # session and the service it warms — would disagree on ownership
         self.owner: Dict[Node, int] = {
-            v: hash(v) % num_fragments for v in self.graph.nodes}
+            v: stable_owner(v, num_fragments) for v in self.graph.nodes}
         self.pg = build_edge_cut(self.graph, self.owner, self.m, "streaming")
         self.engine = Engine(program, self.pg, query)
         self.batches_applied = 0
@@ -74,7 +78,14 @@ class StreamingSession:
         return self.engine.assemble()
 
     def apply(self, batch: UpdateBatch) -> RunResult:
-        """Integrate one batch of edge insertions and re-converge."""
+        """Integrate one batch of edge insertions and re-converge.
+
+        Atomic: the whole batch is validated against the current graph
+        before anything mutates, so a rejected batch (duplicate edge,
+        self-loop) leaves graph, engine and owner map exactly as they
+        were and the session stays usable.
+        """
+        validate_batch(self.graph, batch)
         self._grow_graph(batch)
         new_engine = self._rebuild_engine()
         messages = self._integrate_locally(new_engine, batch)
@@ -89,15 +100,12 @@ class StreamingSession:
 
     # ------------------------------------------------------------------
     def _grow_graph(self, batch: UpdateBatch) -> None:
+        """Materialise a *validated* batch (see :meth:`apply`)."""
         for u, v, w in batch.insertions:
-            if self.graph.has_edge(u, v):
-                raise ProgramError(
-                    f"edge ({u!r}, {v!r}) already exists; weight changes "
-                    f"are not monotone-safe")
             self.graph.add_edge(u, v, w)
         for v in batch.touched_nodes:
             if v not in self.owner:
-                self.owner[v] = hash(v) % self.m
+                self.owner[v] = stable_owner(v, self.m)
 
     def _rebuild_engine(self) -> Engine:
         """Rebuild fragments for the grown graph, carrying the state over."""
@@ -118,8 +126,10 @@ class StreamingSession:
                         # owner's converged value
                         new_ctx.values[v] = old_contexts[owner].values[v]
             # program scratch (e.g. CC's component index) carries over;
-            # inc_update extends it for new nodes
-            new_ctx.scratch = old_ctx.scratch
+            # inc_update extends it for new nodes.  Deep-copied, not
+            # aliased: a caller retaining the old engine (or a result
+            # built from it) must not observe mutations from later batches
+            new_ctx.scratch = copy.deepcopy(old_ctx.scratch)
             new_ctx.changed = set()
         return new_engine
 

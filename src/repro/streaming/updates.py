@@ -15,10 +15,11 @@ is out of scope here (documented in DESIGN.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Hashable, Iterable, List, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ProgramError
+from repro.graph.graph import Graph
 
 Node = Hashable
 EdgeInsertion = Tuple[Node, Node, float]
@@ -26,13 +27,28 @@ EdgeInsertion = Tuple[Node, Node, float]
 
 @dataclass(frozen=True)
 class UpdateBatch:
-    """A batch of edge insertions ``(u, v, weight)``."""
+    """A batch of edge insertions ``(u, v, weight)``.
+
+    A batch is the atomic unit of ingestion: it is validated as a whole
+    and applied as a whole.  Within-batch duplicate edges are rejected at
+    construction — a duplicate would slip past a receiver's
+    ``has_edge``-against-the-current-graph check and double-insert.
+    """
 
     insertions: Tuple[EdgeInsertion, ...]
 
     def __post_init__(self):
         if not self.insertions:
             raise ProgramError("an update batch must contain insertions")
+        seen: Set[Tuple[Node, Node]] = set()
+        for u, v, _ in self.insertions:
+            if u == v:
+                raise ProgramError(
+                    f"self-loop insertion ({u!r}, {v!r}) is not supported")
+            if (u, v) in seen:
+                raise ProgramError(
+                    f"duplicate edge ({u!r}, {v!r}) within one batch")
+            seen.add((u, v))
 
     @classmethod
     def of(cls, *edges: Iterable) -> "UpdateBatch":
@@ -56,3 +72,43 @@ class UpdateBatch:
 
     def __len__(self) -> int:
         return len(self.insertions)
+
+
+def validate_batch(graph: Graph, batch: UpdateBatch,
+                   staged: Optional[Set[frozenset]] = None) -> None:
+    """Check a whole batch against ``graph`` before anything mutates.
+
+    Raises :class:`~repro.errors.ProgramError` if any insertion duplicates
+    an existing edge (including reversed duplicates on undirected graphs,
+    which ``UpdateBatch`` itself cannot see — it does not know the graph's
+    directedness) or an edge in ``staged`` (edges of batches accepted but
+    not yet applied, so a queued service validates against the graph it
+    *will* have).  Validating up front is what makes ``apply`` atomic: a
+    rejected batch leaves graph, engine and owner map untouched.
+    """
+    seen: Set[frozenset] = set()
+    for u, v, _ in batch.insertions:
+        if u == v:
+            # re-checked here (not just at batch construction) so a
+            # hand-built batch still cannot break apply's atomicity
+            raise ProgramError(
+                f"self-loop insertion ({u!r}, {v!r}) is not supported")
+        key = edge_key(graph, u, v)
+        if key in seen:
+            raise ProgramError(
+                f"duplicate edge ({u!r}, {v!r}) within one batch")
+        seen.add(key)
+        if staged is not None and key in staged:
+            raise ProgramError(
+                f"edge ({u!r}, {v!r}) already staged by a pending batch")
+        if graph.has_edge(u, v):
+            raise ProgramError(
+                f"edge ({u!r}, {v!r}) already exists; weight changes "
+                f"are not monotone-safe")
+
+
+def edge_key(graph: Graph, u: Node, v: Node) -> frozenset:
+    """The identity of edge ``(u, v)`` under ``graph``'s directedness."""
+    if graph.directed:
+        return frozenset((("s", u), ("d", v)))
+    return frozenset((u, v))

@@ -1,0 +1,114 @@
+"""In-place partition growth must equal a from-scratch rebuild."""
+
+import random
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.stable import stable_owner
+from repro.partition.builder import build_edge_cut
+from repro.partition.grow import grow_edge_cut
+
+
+def stable_pg(graph, m):
+    owner = {v: stable_owner(v, m) for v in graph.nodes}
+    return build_edge_cut(graph, owner, m, "test")
+
+
+def edge_set(graph):
+    return sorted(((repr(u), repr(v), w) for u, v, w in graph.edges()))
+
+
+def assert_partitions_equal(got, want):
+    assert got.num_fragments == want.num_fragments
+    assert got.owner == want.owner
+    assert got.placement == want.placement
+    for fg, fw in zip(got.fragments, want.fragments):
+        assert fg.owned == fw.owned
+        assert fg.mirrors == fw.mirrors
+        assert fg.in_border == fw.in_border
+        assert fg.out_border == fw.out_border
+        assert fg.out_copies == fw.out_copies
+        assert fg.in_copies == fw.in_copies
+        assert fg._routing == fw._routing
+        assert set(fg.graph.nodes) == set(fw.graph.nodes)
+        assert edge_set(fg.graph) == edge_set(fw.graph)
+
+
+def random_insertions(graph, rng, n, next_id):
+    """``n`` novel edges: half attach brand-new nodes, half join
+    existing pairs."""
+    nodes = sorted(graph.nodes)
+    existing = {frozenset((u, v)) for u, v, _ in graph.edges()}
+    out = []
+    while len(out) < n:
+        if rng.random() < 0.5:
+            u = rng.choice(nodes)
+            v = next_id
+            next_id += 1
+            nodes.append(v)
+        else:
+            u, v = rng.sample(nodes, 2)
+        key = frozenset((u, v))
+        if u == v or key in existing:
+            continue
+        existing.add(key)
+        out.append((u, v, round(rng.uniform(0.5, 2.0), 3)))
+    return out, next_id
+
+
+@pytest.mark.parametrize("m", [1, 3, 4])
+@pytest.mark.parametrize("make", [
+    lambda: generators.grid2d(6, 6, weighted=True, seed=2),
+    lambda: generators.powerlaw(120, m=2, weighted=True, seed=5),
+])
+def test_grow_equals_rebuild(make, m):
+    graph = make()
+    pg = stable_pg(graph, m)
+    rng = random.Random(m * 101)
+    next_id = max(graph.nodes) + 1
+    for _ in range(4):  # several consecutive growth steps
+        insertions, next_id = random_insertions(graph, rng, 6, next_id)
+        report = grow_edge_cut(pg, insertions)
+        for u, v, w in insertions:
+            graph.add_edge(u, v, w)
+        rebuilt = build_edge_cut(graph, dict(pg.owner), m, "test")
+        assert_partitions_equal(pg, rebuilt)
+        assert report.new_nodes <= set(pg.owner)
+
+
+def test_grow_directed_graph():
+    g = Graph(directed=True)
+    for u, v in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+        g.add_edge(u, v, 1.0)
+    pg = stable_pg(g, 3)
+    report = grow_edge_cut(pg, [(1, 4, 1.0), (4, 2, 1.0), (0, 2, 1.0)])
+    for u, v, w in [(1, 4, 1.0), (4, 2, 1.0), (0, 2, 1.0)]:
+        g.add_edge(u, v, w)
+    rebuilt = build_edge_cut(g, dict(pg.owner), 3, "test")
+    assert_partitions_equal(pg, rebuilt)
+    assert 4 in report.new_nodes
+
+
+def test_grow_rejects_vertex_cut():
+    g = generators.grid2d(3, 3, weighted=True, seed=0)
+    pg = stable_pg(g, 2)
+    pg.cut = "vertex"
+    with pytest.raises(PartitionError):
+        grow_edge_cut(pg, [(0, 99, 1.0)])
+
+
+def test_grow_invalidates_fragment_caches():
+    g = generators.grid2d(4, 4, weighted=True, seed=1)
+    pg = stable_pg(g, 2)
+    frag = pg.fragments[0]
+    before = frag.compact()
+    frag.memo("probe", lambda: "stale")
+    anchor = sorted(frag.owned)[0]
+    grow_edge_cut(pg, [(anchor, 500, 1.0)])
+    assert frag._memo is None or "probe" not in frag._memo
+    after = frag.compact()
+    assert after is not before
+    assert 500 in after.lid_of  # the rebuilt view sees the new node

@@ -1,0 +1,170 @@
+"""Unit tests for the resident graph service: admission, cache, epochs,
+staleness accounting and observability."""
+
+import pytest
+
+from repro.algorithms import CCProgram, CCQuery, SSSPProgram, SSSPQuery
+from repro.errors import ProgramError, ReproError
+from repro.graph import analysis, generators
+from repro.obs import ADMISSION_SHED, EPOCH_APPLY, INGEST, QUERY_SERVED
+from repro.serve import (AdmissionController, GraphService, QueryCache,
+                         verify_against_recompute)
+from repro.streaming import UpdateBatch
+
+
+def make_service(**kw):
+    g = generators.grid2d(5, 5, weighted=True, seed=1)
+    kw.setdefault("runtime", "simulated")
+    return GraphService(SSSPProgram(), g, SSSPQuery(source=0),
+                        num_fragments=3, **kw)
+
+
+class TestIngestAndEpochs:
+    def test_ingest_parks_and_query_catches_up(self):
+        svc = make_service()
+        r1 = svc.ingest(UpdateBatch.of((0, 100, 0.5)))
+        r2 = svc.ingest(UpdateBatch.of((100, 101, 0.5)))
+        assert r1.accepted and r2.accepted
+        assert (svc.accepted, svc.epoch, svc.lag) == (2, 0, 2)
+        loose = svc.query(0, staleness_bound=5)
+        assert loose.served and loose.staleness == 2 and svc.epoch == 0
+        fresh = svc.query(101, staleness_bound=0)
+        assert fresh.staleness == 0 and svc.epoch == 2
+        assert fresh.value == pytest.approx(1.0)
+
+    def test_invalid_batch_rejected_atomically(self):
+        svc = make_service()
+        edges_before = sorted(svc.graph.edges())
+        with pytest.raises(ProgramError):
+            svc.ingest(UpdateBatch.of((40, 41, 1.0), (0, 1, 2.0)))
+        assert sorted(svc.graph.edges()) == edges_before
+        assert (svc.accepted, svc.lag) == (0, 0)
+
+    def test_cross_batch_duplicate_rejected_while_staged(self):
+        svc = make_service()
+        assert svc.ingest(UpdateBatch.of((0, 100, 0.5))).accepted
+        with pytest.raises(ProgramError):
+            svc.ingest(UpdateBatch.of((100, 0, 0.5)))  # undirected dup
+        svc.flush()
+        with pytest.raises(ProgramError):  # now a graph duplicate
+            svc.ingest(UpdateBatch.of((0, 100, 0.5)))
+
+    def test_flush_drains_and_matches_recompute(self):
+        svc = make_service()
+        svc.ingest(UpdateBatch.of((0, 100, 0.1), (100, 24, 0.1)))
+        svc.ingest(UpdateBatch.of((100, 101, 0.2)))
+        assert svc.flush() == 2
+        assert svc.lag == 0
+        assert svc.answer == analysis.dijkstra(svc.graph, 0)
+
+    def test_bad_runtime_name(self):
+        with pytest.raises(ReproError):
+            make_service(runtime="quantum")
+
+
+class TestAdmission:
+    def test_ingest_shed_when_queue_full(self):
+        svc = make_service(
+            admission=AdmissionController(max_pending_batches=2))
+        assert svc.ingest(UpdateBatch.of((0, 100, 1.0))).accepted
+        assert svc.ingest(UpdateBatch.of((0, 101, 1.0))).accepted
+        shed = svc.ingest(UpdateBatch.of((0, 102, 1.0)))
+        assert not shed.accepted and "full" in shed.reason
+        assert svc.lag == 2  # the shed batch left no trace
+        sheds = [e for e in svc.obs.log.events if e.type == ADMISSION_SHED]
+        assert sheds and sheds[-1].payload["kind"] == "batch"
+        # draining the queue re-opens admission
+        svc.flush()
+        assert svc.ingest(UpdateBatch.of((0, 102, 1.0))).accepted
+
+    def test_query_shed_when_catchup_too_expensive(self):
+        svc = make_service(
+            admission=AdmissionController(max_pending_batches=10,
+                                          max_catchup=1))
+        for k in range(3):
+            svc.ingest(UpdateBatch.of((0, 100 + k, 1.0)))
+        shed = svc.query(0, staleness_bound=0)  # needs 3 epochs, cap is 1
+        assert not shed.served and "catch-up" in shed.reason
+        assert svc.epoch == 0  # shed before any work
+        ok = svc.query(0, staleness_bound=2)  # needs 1 epoch: admitted
+        assert ok.served and ok.staleness <= 2
+
+    def test_negative_bound_rejected(self):
+        svc = make_service()
+        with pytest.raises(ProgramError):
+            svc.query(0, staleness_bound=-1)
+
+
+class TestQueryCache:
+    def test_lru_unit(self):
+        cache = QueryCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == (True, 1)
+        cache.put("c", 3)  # evicts "b" (least recently used)
+        assert cache.get("b") == (False, None)
+        assert cache.get("a") == (True, 1)
+        assert cache.invalidate(["a", "zzz"]) == 1
+        assert cache.get("a") == (False, None)
+        assert cache.stats()["hits"] == 2
+
+    def test_capacity_zero_disables(self):
+        cache = QueryCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") == (False, None)
+
+    def test_service_hits_then_invalidates_on_change(self):
+        svc = make_service()
+        first = svc.query(24, staleness_bound=0)
+        second = svc.query(24, staleness_bound=0)
+        assert not first.cache_hit and second.cache_hit
+        # a shortcut into the corner changes 24's distance -> invalidated
+        svc.ingest(UpdateBatch.of((0, 100, 0.01), (100, 24, 0.01)))
+        third = svc.query(24, staleness_bound=0)
+        assert not third.cache_hit
+        assert third.value == pytest.approx(0.02)
+        assert svc.query(24, staleness_bound=0).cache_hit
+
+    def test_unchanged_keys_survive_epochs(self):
+        svc = make_service()
+        svc.query(0, staleness_bound=0)  # the source never changes
+        svc.ingest(UpdateBatch.of((24, 100, 1.0)))
+        svc.flush()
+        assert svc.query(0, staleness_bound=0).cache_hit
+
+
+class TestSnapshotsAndObs:
+    def test_snapshot_under_bound(self):
+        svc = make_service()
+        svc.ingest(UpdateBatch.of((0, 100, 0.5)))
+        snap = svc.snapshot(staleness_bound=0)
+        assert snap.staleness == 0
+        assert snap.value == svc.answer
+        assert 100 in snap.value
+
+    def test_events_and_histograms_recorded(self):
+        svc = make_service()
+        svc.ingest(UpdateBatch.of((0, 100, 0.5)))
+        svc.query(100, staleness_bound=0)
+        types = [e.type for e in svc.obs.log.events]
+        assert INGEST in types and EPOCH_APPLY in types \
+            and QUERY_SERVED in types
+        assert svc.obs.metrics.histogram("serve_query_latency").count == 1
+        assert svc.obs.metrics.histogram("serve_ingest_latency").count == 1
+        assert svc.obs.metrics.histogram("serve_staleness").count == 1
+        assert svc.obs.metrics.counter("serve_epochs").value == 1
+        epoch_events = [e for e in svc.obs.log.events
+                        if e.type == EPOCH_APPLY]
+        assert epoch_events[0].payload["epoch"] == 1
+        assert epoch_events[0].payload["edges"] == 1
+
+    def test_cc_service_merges_components(self):
+        g = generators.path_graph(6, weighted=True, seed=0)
+        g.add_edge(10, 11, 1.0)
+        svc = GraphService(CCProgram(), g, CCQuery(), num_fragments=3,
+                           runtime="simulated")
+        assert len(set(svc.answer.values())) == 2
+        svc.ingest(UpdateBatch.of((5, 10, 1.0)))
+        res = svc.query(11, staleness_bound=0)
+        assert res.value == svc.query(0, staleness_bound=0).value
+        assert verify_against_recompute(svc)
